@@ -1,0 +1,27 @@
+# Convenience targets for the CoSKQ reproduction.
+
+.PHONY: install test bench bench-reports figures full-experiments clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Quick-scale paper reports + SVG figures under docs/figures/.
+figures:
+	coskq-bench all --quick --svg docs/figures
+
+# Full paper-shaped sweeps (an hour-plus; writes to bench_full/).
+full-experiments:
+	mkdir -p bench_full
+	for e in $$(coskq-bench list); do \
+		coskq-bench $$e > bench_full/$$e.txt 2>&1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/reports
+	find . -name __pycache__ -type d -exec rm -rf {} +

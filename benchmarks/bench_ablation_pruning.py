@@ -1,0 +1,68 @@
+"""Ablation: what each pruning component buys the exact search.
+
+DESIGN.md §7 artifact: MaxSum-Exact with the appro seeding, the
+candidate lens filter and the d_f ring pruning individually disabled.
+The full-pruning variant should be the fastest; dropping everything
+should cost the most.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, queries_for, run_workload, write_report
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.bench.experiments import run_experiment
+from repro.cost.functions import cost_by_name
+
+K = 6
+
+VARIANTS = {
+    "full-pruning": {},
+    "appro-seeded": {"seed_with_appro": True},
+    "no-candidate-filter": {"filter_candidates": False},
+    "no-ring-pruning": {"ring_pruning": False},
+    "no-pruning-at-all": {
+        "filter_candidates": False,
+        "ring_pruning": False,
+    },
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_pruning_variant(benchmark, hotel_context, hotel_dataset, variant):
+    algorithm = OwnerDrivenExact(
+        hotel_context, cost_by_name("maxsum"), **VARIANTS[variant]
+    )
+    queries = queries_for(hotel_dataset, K)
+    results = benchmark.pedantic(
+        run_workload, args=(algorithm, queries), rounds=2, iterations=1
+    )
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+def test_variants_agree_on_cost(hotel_context, hotel_dataset, benchmark):
+    queries = queries_for(hotel_dataset, K)
+    reference = [
+        OwnerDrivenExact(hotel_context, cost_by_name("maxsum")).solve(q).cost
+        for q in queries
+    ]
+
+    def check_all():
+        for variant, kwargs in VARIANTS.items():
+            algorithm = OwnerDrivenExact(hotel_context, cost_by_name("maxsum"), **kwargs)
+            for query, expected in zip(queries, reference):
+                got = algorithm.solve(query).cost
+                assert abs(got - expected) <= 1e-6 * max(1.0, expected), variant
+        return True
+
+    assert benchmark.pedantic(check_all, rounds=1)
+
+
+def test_ablation_pruning_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("ablation_pruning",),
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1,
+    )
+    write_report("ablation_pruning", report)
+    assert "full-pruning" in report

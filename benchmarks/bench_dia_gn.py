@@ -1,0 +1,32 @@
+"""Figure: dia cost on the gn-like dataset, vs |q.psi|.
+
+Paper artifact: running time (exact and approximate algorithms) and
+approximation ratios for the dia cost on gn, swept over the
+number of query keywords.  Each benchmark times one (algorithm, |q.psi|)
+cell over a small query workload; the report artifact reproduces the
+figure's series at bench scale.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, cost_sweep_algorithms, queries_for, run_workload, write_report
+from repro.bench.experiments import run_experiment
+
+ALGORITHMS = ("dia-exact", "cao-exact", "dia-appro", "cao-appro1", "cao-appro2")
+
+
+@pytest.mark.parametrize("k", BENCH_SCALE.keyword_sweep)
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_dia_gn(benchmark, gn_context, gn_dataset, name, k):
+    algorithm = cost_sweep_algorithms(gn_context, "dia")[name]
+    queries = queries_for(gn_dataset, k)
+    results = benchmark.pedantic(run_workload, args=(algorithm, queries), rounds=2, iterations=1)
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+def test_dia_gn_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment, args=("dia_gn",), kwargs={"scale": BENCH_SCALE}, rounds=1
+    )
+    write_report("dia_gn", report)
+    assert "dia-exact" in report and "approximation ratio" in report

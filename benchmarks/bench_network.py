@@ -1,0 +1,84 @@
+"""Extension: CoSKQ under road-network distance (the paper's future work).
+
+Times the network solver line-up on a perturbed-grid street network and
+records how often the road metric changes the optimal set relative to
+the Euclidean metric on identical objects.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.algorithms.base import SearchContext
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.bench.report import format_kv_table
+from repro.cost.functions import cost_by_name
+from repro.model.query import Query
+from repro.network import (
+    NetworkBnBExact,
+    NetworkContext,
+    NetworkGreedyAppro,
+    NetworkNNSetAlgorithm,
+    random_network_dataset,
+)
+
+QUERIES = [(30.0, 30.0), (70.0, 90.0), (120.0, 40.0)]
+KEYWORDS = [0, 1, 2, 3]
+
+
+@pytest.fixture(scope="module")
+def network_setup():
+    dataset = random_network_dataset(
+        rows=14, cols=14, num_objects=260, vocabulary_size=25, seed=3
+    )
+    return dataset, NetworkContext(dataset)
+
+
+@pytest.mark.parametrize(
+    "algo_cls",
+    [NetworkNNSetAlgorithm, NetworkGreedyAppro, NetworkBnBExact],
+    ids=lambda c: c.name,
+)
+def test_network_solver(benchmark, network_setup, algo_cls):
+    dataset, context = network_setup
+    algorithm = algo_cls(context, cost_by_name("maxsum"))
+    queries = [Query.create(x, y, KEYWORDS) for x, y in QUERIES]
+
+    def unit():
+        return [algorithm.solve(q) for q in queries]
+
+    results = benchmark.pedantic(unit, rounds=2, iterations=1)
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+def test_network_vs_euclidean_report(benchmark, network_setup):
+    dataset, context = network_setup
+    euclidean = SearchContext(dataset.as_euclidean_dataset())
+    queries = [Query.create(x, y, KEYWORDS) for x, y in QUERIES]
+
+    def unit():
+        rows = []
+        for i, query in enumerate(queries):
+            road = NetworkBnBExact(context, cost_by_name("maxsum")).solve(query)
+            # The network solver measures from the snapped junction, so
+            # pose the Euclidean query from that same junction.
+            snapped = dataset.network.location(context.query_node(query))
+            flat_query = Query(snapped, query.keywords)
+            flat = OwnerDrivenExact(euclidean, cost_by_name("maxsum")).solve(flat_query)
+            rows.append(
+                {
+                    "query": i,
+                    "road_cost": round(road.cost, 3),
+                    "euclidean_cost": round(flat.cost, 3),
+                    "same_set": set(road.object_ids) == set(flat.object_ids),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(unit, rounds=1)
+    for row in rows:
+        # Road distances dominate Euclidean ones, so the optimal road
+        # cost can never undercut the optimal Euclidean cost.
+        assert row["road_cost"] >= row["euclidean_cost"] - 1e-6
+    write_report(
+        "network", format_kv_table("road vs euclidean CoSKQ (maxsum)", rows, key="query")
+    )

@@ -1,0 +1,51 @@
+"""Figure: effect of the average number of keywords per object.
+
+Paper-adjacent artifact (the |o.psi| sensitivity experiment of the
+follow-up literature, DESIGN.md §5): hold the spatial layout fixed,
+densify each object's keyword set, and watch exact search slow while the
+approximation stays flat.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, queries_for, run_workload, write_report
+from repro.algorithms.base import SearchContext
+from repro.algorithms.owner_appro import OwnerRingApproximation
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.bench.experiments import run_experiment
+from repro.cost.functions import cost_by_name
+from repro.data.augment import densify_keywords
+from repro.data.generators import hotel_like
+
+K = 6
+
+
+@pytest.fixture(scope="module", params=BENCH_SCALE.okeyword_sweep)
+def densified(request):
+    base = hotel_like(scale=BENCH_SCALE.hotel_scale, seed=BENCH_SCALE.seed)
+    dataset = densify_keywords(base, request.param, seed=BENCH_SCALE.seed)
+    context = SearchContext(dataset)
+    context.index
+    return dataset, context
+
+
+@pytest.mark.parametrize("algo", ["maxsum-exact", "maxsum-appro"])
+def test_okeywords_cell(benchmark, densified, algo):
+    dataset, context = densified
+    if algo == "maxsum-exact":
+        algorithm = OwnerDrivenExact(context, cost_by_name("maxsum"))
+    else:
+        algorithm = OwnerRingApproximation(context, cost_by_name("maxsum"))
+    queries = queries_for(dataset, K)
+    results = benchmark.pedantic(
+        run_workload, args=(algorithm, queries), rounds=2, iterations=1
+    )
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+def test_okeywords_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment, args=("okeywords",), kwargs={"scale": BENCH_SCALE}, rounds=1
+    )
+    write_report("okeywords", report)
+    assert "avg|o.psi|" in report

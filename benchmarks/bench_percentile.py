@@ -1,0 +1,67 @@
+"""Extension: sensitivity to the query-keyword frequency band.
+
+The paper draws query keywords from the most frequent 40% of the
+vocabulary.  This bench sweeps that band: frequent keywords mean many
+relevant objects (dense candidate regions, cheap coverage), rare
+keywords mean sparse carriers and wider rings.  Useful for judging how
+workload construction influences the headline timings.
+"""
+
+import pytest
+
+from conftest import queries_for, run_workload, write_report
+from repro.algorithms.owner_appro import OwnerRingApproximation
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.bench.report import SeriesTable
+from repro.cost.functions import cost_by_name
+from repro.data.queries import generate_queries
+
+K = 6
+BANDS = {
+    "head-0-20": (0.0, 0.2),
+    "paper-0-40": (0.0, 0.4),
+    "mid-40-70": (0.4, 0.7),
+    "tail-60-95": (0.6, 0.95),
+}
+
+
+@pytest.mark.parametrize("band", list(BANDS))
+@pytest.mark.parametrize("kind", ["exact", "appro"])
+def test_percentile_cell(benchmark, hotel_context, hotel_dataset, band, kind):
+    queries = generate_queries(
+        hotel_dataset, K, 3, percentile_range=BANDS[band], seed=11
+    )
+    if kind == "exact":
+        algorithm = OwnerDrivenExact(hotel_context, cost_by_name("maxsum"))
+    else:
+        algorithm = OwnerRingApproximation(hotel_context, cost_by_name("maxsum"))
+    results = benchmark.pedantic(
+        run_workload, args=(algorithm, queries), rounds=2, iterations=1
+    )
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+def test_percentile_report(benchmark, hotel_context, hotel_dataset):
+    def unit():
+        table = SeriesTable(
+            title="effect of query-keyword frequency band (maxsum, |q.psi|=%d)" % K,
+            x_label="band",
+            unit="s/query",
+        )
+        from repro.bench.runner import time_algorithm
+
+        for band, percentiles in BANDS.items():
+            queries = generate_queries(
+                hotel_dataset, K, 3, percentile_range=percentiles, seed=11
+            )
+            table.x_values.append(band)
+            exact = OwnerDrivenExact(hotel_context, cost_by_name("maxsum"))
+            table.add("maxsum-exact", time_algorithm(exact, queries, keep_results=False).mean_time)
+            appro = OwnerRingApproximation(hotel_context, cost_by_name("maxsum"))
+            appro.name = "maxsum-appro"
+            table.add("maxsum-appro", time_algorithm(appro, queries, keep_results=False).mean_time)
+        return table.render()
+
+    report = benchmark.pedantic(unit, rounds=1)
+    write_report("percentile", report)
+    assert "paper-0-40" in report

@@ -1,0 +1,19 @@
+"""Figure: approximation-ratio bar charts (avg/min/max per algorithm).
+
+Paper artifact: the ratio bars comparing MaxSum-Appro / Dia-Appro with
+Cao-Appro1 / Cao-Appro2, including the fraction of queries answered
+exactly.  The benchmark times a full ratio study; the report artifact
+records the bars.
+"""
+
+from conftest import BENCH_SCALE, write_report
+from repro.bench.experiments import run_experiment
+
+
+def test_ratio_bars_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment, args=("ratio_bars",), kwargs={"scale": BENCH_SCALE}, rounds=1
+    )
+    write_report("ratio_bars", report)
+    assert "optimal_fraction" in report
+    assert "maxsum-appro" in report and "dia-appro" in report

@@ -1,0 +1,39 @@
+"""Table 1: dataset statistics (generation + statistics pass).
+
+Paper artifact: the dataset-statistics table (#objects, #unique words,
+#words per dataset).  The benchmark measures generating each synthetic
+stand-in and computing its statistics; the report artifact records the
+table itself.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, write_report
+from repro.bench.experiments import run_experiment
+from repro.data.generators import gn_like, hotel_like, web_like
+
+
+@pytest.mark.parametrize(
+    "factory,scale",
+    [
+        (hotel_like, BENCH_SCALE.hotel_scale),
+        (gn_like, BENCH_SCALE.gn_scale),
+        (web_like, BENCH_SCALE.web_scale),
+    ],
+    ids=["hotel", "gn", "web"],
+)
+def test_generate_and_stats(benchmark, factory, scale):
+    def unit():
+        dataset = factory(scale=scale, seed=BENCH_SCALE.seed)
+        return dataset.statistics()
+
+    stats = benchmark.pedantic(unit, rounds=3, iterations=1)
+    assert stats.num_objects > 0
+
+
+def test_table1_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment, args=("table1",), kwargs={"scale": BENCH_SCALE}, rounds=1
+    )
+    write_report("table1", report)
+    assert "hotel" in report

@@ -1,0 +1,48 @@
+"""Extension: top-k CoSKQ (the k cheapest sets, Cao et al. variation).
+
+Measures how the ranked enumeration scales with k relative to the
+single-best search it generalizes.
+"""
+
+import pytest
+
+from conftest import queries_for, write_report
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.algorithms.topk import TopKCoSKQ
+from repro.bench.report import format_kv_table
+from repro.cost.functions import cost_by_name
+
+K_QUERY = 6
+
+
+@pytest.mark.parametrize("k", [1, 3, 10])
+def test_topk_cell(benchmark, hotel_context, hotel_dataset, k):
+    algorithm = TopKCoSKQ(hotel_context, cost_by_name("maxsum"), k=k)
+    queries = queries_for(hotel_dataset, K_QUERY)
+
+    def unit():
+        return [algorithm.solve_topk(q) for q in queries]
+
+    rankings = benchmark.pedantic(unit, rounds=2, iterations=1)
+    for ranking, query in zip(rankings, queries):
+        assert 1 <= len(ranking) <= k
+        costs = [r.cost for r in ranking]
+        assert costs == sorted(costs)
+        assert all(r.is_feasible_for(query) for r in ranking)
+
+
+def test_topk_first_matches_exact(benchmark, hotel_context, hotel_dataset):
+    queries = queries_for(hotel_dataset, K_QUERY)
+    exact = OwnerDrivenExact(hotel_context, cost_by_name("maxsum"))
+    optima = [exact.solve(q).cost for q in queries]
+
+    def unit():
+        algorithm = TopKCoSKQ(hotel_context, cost_by_name("maxsum"), k=3)
+        return [algorithm.solve_topk(q)[0].cost for q in queries]
+
+    firsts = benchmark.pedantic(unit, rounds=1)
+    rows = []
+    for i, (first, optimum) in enumerate(zip(firsts, optima)):
+        assert abs(first - optimum) <= 1e-6 * max(1.0, optimum)
+        rows.append({"query": i, "top1_cost": round(first, 4), "exact_cost": round(optimum, 4)})
+    write_report("topk", format_kv_table("top-k vs single-best (maxsum)", rows, key="query"))

@@ -1,0 +1,45 @@
+"""Extension: the unified cost function served by one algorithm pair.
+
+DESIGN.md §6 artifact: Unified-E (structure-dispatched exact) and
+Unified-A (one approximation for every cost) across the seven
+interesting unified-cost instantiations.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, queries_for, run_workload, write_report
+from repro.algorithms.unified_appro import UnifiedAppro
+from repro.algorithms.unified_exact import UnifiedExact
+from repro.bench.experiments import run_experiment
+from repro.cost.unified import INTERESTING_SETTINGS, UnifiedCost
+
+K = 3
+
+SETTINGS = {
+    (UnifiedCost(a, p1, p2).named_equivalent() or "unnamed"): (a, p1, p2)
+    for a, p1, p2 in INTERESTING_SETTINGS
+}
+
+
+@pytest.mark.parametrize("cost_name", sorted(SETTINGS))
+@pytest.mark.parametrize("kind", ["exact", "appro"])
+def test_unified_cell(benchmark, hotel_context, hotel_dataset, cost_name, kind):
+    alpha, phi1, phi2 = SETTINGS[cost_name]
+    cost = UnifiedCost(alpha, phi1, phi2)
+    if kind == "exact":
+        algorithm = UnifiedExact(hotel_context, cost)
+    else:
+        algorithm = UnifiedAppro(hotel_context, cost)
+    queries = queries_for(hotel_dataset, K)
+    results = benchmark.pedantic(
+        run_workload, args=(algorithm, queries), rounds=2, iterations=1
+    )
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+def test_unified_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment, args=("unified",), kwargs={"scale": BENCH_SCALE}, rounds=1
+    )
+    write_report("unified", report)
+    assert "appro_ratio_avg" in report

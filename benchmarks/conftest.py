@@ -1,0 +1,108 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` file regenerates one paper table/figure (DESIGN.md
+§5) at *bench scale* — datasets a few thousand objects strong so the
+whole suite runs in minutes.  The full paper-shaped sweeps run through
+``coskq-bench <id>``; the artifact written by each bench file under
+``benchmarks/reports/`` shows the same rows at bench scale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.algorithms.base import SearchContext
+from repro.bench.experiments import Scale
+from repro.data.generators import gn_like, hotel_like, web_like
+from repro.data.queries import generate_queries
+
+#: Sizing used by every benchmark file.  The keyword sweep reaches 12
+#: because that is where the paper's exact-algorithm crossover lives
+#: (set-space branch-and-bound explodes, owner-driven search does not).
+BENCH_SCALE = Scale(
+    hotel_scale=0.25,   # ~5.2k objects
+    gn_scale=0.002,     # ~3.7k objects
+    web_scale=0.005,    # ~2.9k objects
+    queries=3,
+    keyword_sweep=(3, 6, 9, 12),
+    scalability_sizes=(2_000, 4_000, 6_000),
+    okeyword_sweep=(4.0, 8.0),
+    seed=7,
+)
+
+REPORTS_DIR = pathlib.Path(__file__).resolve().parent / "reports"
+
+
+def write_report(experiment_id: str, report: str) -> None:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / ("%s.txt" % experiment_id)).write_text(report + "\n")
+
+
+@pytest.fixture(scope="session")
+def hotel_dataset():
+    return hotel_like(scale=BENCH_SCALE.hotel_scale, seed=BENCH_SCALE.seed)
+
+
+@pytest.fixture(scope="session")
+def gn_dataset():
+    return gn_like(scale=BENCH_SCALE.gn_scale, seed=BENCH_SCALE.seed)
+
+
+@pytest.fixture(scope="session")
+def web_dataset():
+    return web_like(scale=BENCH_SCALE.web_scale, seed=BENCH_SCALE.seed)
+
+
+@pytest.fixture(scope="session")
+def hotel_context(hotel_dataset):
+    context = SearchContext(hotel_dataset)
+    context.index  # build outside the timed region
+    return context
+
+
+@pytest.fixture(scope="session")
+def gn_context(gn_dataset):
+    context = SearchContext(gn_dataset)
+    context.index
+    return context
+
+
+@pytest.fixture(scope="session")
+def web_context(web_dataset):
+    context = SearchContext(web_dataset)
+    context.index
+    return context
+
+
+def queries_for(dataset, num_keywords: int):
+    return generate_queries(
+        dataset, num_keywords, BENCH_SCALE.queries, seed=BENCH_SCALE.seed
+    )
+
+
+def run_workload(algorithm, queries):
+    """The benchmarked unit: solve a whole small workload."""
+    return [algorithm.solve(query) for query in queries]
+
+
+def cost_sweep_algorithms(context, cost_name: str):
+    """The five algorithms of a per-cost paper figure, by report label."""
+    from repro.algorithms.cao_appro import CaoAppro1, CaoAppro2
+    from repro.algorithms.cao_exact import CaoExact
+    from repro.algorithms.owner_appro import OwnerRingApproximation
+    from repro.algorithms.owner_exact import OwnerDrivenExact
+    from repro.cost.functions import cost_by_name
+
+    appro = OwnerRingApproximation(context, cost_by_name(cost_name))
+    appro.name = "%s-appro" % cost_name
+    return {
+        "%s-exact" % cost_name: OwnerDrivenExact(context, cost_by_name(cost_name)),
+        "cao-exact": CaoExact(
+            context, cost_by_name(cost_name), max_expansions=500_000
+        ),
+        "%s-appro" % cost_name: appro,
+        "cao-appro1": CaoAppro1(context, cost_by_name(cost_name)),
+        "cao-appro2": CaoAppro2(context, cost_by_name(cost_name)),
+    }

@@ -1,0 +1,81 @@
+"""A tour of the spatial-textual index substrate.
+
+Shows the building blocks the CoSKQ algorithms run on: the R-tree, the
+IR-tree with keyword-aware pruning, keyword nearest neighbors, the
+nearest-neighbor set N(q) and region queries — and measures how much
+keyword summaries prune versus a linear scan.
+
+Run with::
+
+    python examples/index_tour.py
+"""
+
+import time
+
+from repro import (
+    Circle,
+    IRTree,
+    LinearScanIndex,
+    Point,
+    Query,
+    RTree,
+    gn_like,
+)
+
+
+def main() -> None:
+    dataset = gn_like(scale=0.003, seed=1)  # ~5.6k objects
+    print("dataset:", dataset)
+
+    # Plain R-tree over the locations.
+    rtree = RTree.bulk_load([(o.location, o.oid) for o in dataset])
+    print("r-tree: %d entries, height %d" % (len(rtree), rtree.height()))
+    here = Point(500.0, 500.0)
+    nearest5 = rtree.nearest(here, k=5)
+    print("5 nearest objects to (500, 500):", [oid for _, oid in nearest5])
+    in_range = rtree.range_search(Circle(here, 25.0))
+    print("objects within 25 units: %d" % len(in_range))
+
+    # IR-tree: the keyword-aware version the paper uses.
+    irtree = IRTree.build(dataset)
+    keyword = dataset.keywords_by_frequency()[10]
+    word = dataset.vocabulary.word_of(keyword)
+    hit = irtree.keyword_nn(here, keyword)
+    assert hit is not None
+    print(
+        "\nnearest object containing %r: #%d at distance %.2f"
+        % (word, hit[1].oid, hit[0])
+    )
+
+    # N(q): one nearest carrier per query keyword — the seed of every
+    # CoSKQ algorithm and the source of the d_f bound.
+    frequent = dataset.keywords_by_frequency()[:4]
+    query = Query(here, frozenset(frequent))
+    nn_set = irtree.nearest_neighbor_set(query)
+    d_f = max(d for d, _ in nn_set.values())
+    print("N(q) over %d keywords: d_f = %.2f" % (len(nn_set), d_f))
+
+    # Keyword-filtered region query.
+    relevant = irtree.relevant_in_circle(Circle(here, 50.0), query.keywords)
+    print("relevant objects within 50 units: %d" % len(relevant))
+
+    # IR-tree vs linear scan on the same query mix.
+    linear = LinearScanIndex(dataset)
+    rounds = 300
+    started = time.perf_counter()
+    for i in range(rounds):
+        irtree.keyword_nn(Point(i % 1000, (i * 37) % 1000), keyword)
+    tree_time = time.perf_counter() - started
+    started = time.perf_counter()
+    for i in range(rounds):
+        linear.keyword_nn(Point(i % 1000, (i * 37) % 1000), keyword)
+    scan_time = time.perf_counter() - started
+    print(
+        "\nkeyword-NN microbenchmark (%d lookups): ir-tree %.3fs, "
+        "linear scan %.3fs (%.1fx)"
+        % (rounds, tree_time, scan_time, scan_time / max(tree_time, 1e-9))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: build a dataset, index it, run every CoSKQ flavor.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    DiaAppro,
+    DiaExact,
+    MaxSumAppro,
+    MaxSumExact,
+    Query,
+    SearchContext,
+    hotel_like,
+)
+
+
+def main() -> None:
+    # 1. A synthetic stand-in for the paper's Hotel dataset (scale it up
+    #    to 1.0 for the full 20,790 objects).
+    dataset = hotel_like(scale=0.1, seed=42)
+    print("dataset:", dataset)
+    print("statistics:", dataset.statistics().as_row())
+
+    # 2. One SearchContext builds and shares the IR-tree + inverted index.
+    context = SearchContext(dataset)
+
+    # 3. A query: a location plus keywords to cover collectively.
+    #    Keywords here are drawn from the generated vocabulary; with your
+    #    own data you would use the real words.
+    frequent = dataset.keywords_by_frequency()[:3]
+    words = [dataset.vocabulary.word_of(k) for k in frequent]
+    query = Query.from_words(500.0, 500.0, words, dataset.vocabulary)
+    print("\nquery at (500, 500) for keywords:", words)
+
+    # 4. The paper's four algorithms.
+    for algorithm in (
+        MaxSumExact(context),
+        MaxSumAppro(context),
+        DiaExact(context),
+        DiaAppro(context),
+    ):
+        result = algorithm.solve(query)
+        members = ", ".join(
+            "#%d@(%.0f,%.0f)" % (o.oid, o.location.x, o.location.y)
+            for o in result.objects
+        )
+        print(
+            "%-13s cost=%8.3f  objects: %s" % (algorithm.name, result.cost, members)
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Trip planning — the paper's motivating scenario.
+
+A tourist at their hotel wants one set of nearby POIs that together offer
+sight-seeing, shopping and dining.  The MaxSum cost keeps the whole set
+close to the hotel *and* mutually close (one walkable excursion); the Dia
+cost additionally treats the hotel itself as part of the tour and bounds
+the worst leg.
+
+Run with::
+
+    python examples/trip_planning.py
+"""
+
+from repro import (
+    Dataset,
+    DiaExact,
+    MaxSumAppro,
+    MaxSumExact,
+    Query,
+    SearchContext,
+    SumGreedy,
+)
+
+# A hand-crafted downtown: coordinates are in hundreds of meters.
+POIS = [
+    # (x, y, amenities)
+    (1.0, 1.0, ["museum", "cafe"]),
+    (1.2, 0.8, ["shopping"]),
+    (0.9, 1.3, ["restaurant"]),
+    (5.0, 5.0, ["museum", "shopping", "restaurant"]),  # far mega-mall
+    (2.2, 2.4, ["park", "museum"]),
+    (2.0, 2.0, ["shopping", "cafe"]),
+    (2.4, 2.1, ["restaurant", "bar"]),
+    (8.0, 1.0, ["restaurant"]),
+    (0.5, 6.5, ["park"]),
+    (3.1, 2.8, ["theater", "bar"]),
+]
+
+
+def main() -> None:
+    dataset = Dataset.from_records(POIS, name="downtown")
+    context = SearchContext(dataset)
+
+    hotel = (1.8, 1.9)  # where the tourist is staying
+    wanted = ["museum", "shopping", "restaurant"]
+    query = Query.from_words(hotel[0], hotel[1], wanted, dataset.vocabulary)
+
+    print("hotel at %s, looking for %s\n" % (hotel, wanted))
+    for algorithm, blurb in (
+        (MaxSumExact(context), "optimal single-excursion plan (MaxSum)"),
+        (MaxSumAppro(context), "fast 1.375-approximate plan"),
+        (DiaExact(context), "optimal worst-leg plan (Dia)"),
+        (SumGreedy(context), "cheapest total travel from hotel (Sum, greedy)"),
+    ):
+        result = algorithm.solve(query)
+        print("%s:" % blurb)
+        for poi in result.objects:
+            words = sorted(dataset.vocabulary.word_of(k) for k in poi.keywords)
+            print(
+                "  POI #%d at (%.1f, %.1f): %s"
+                % (poi.oid, poi.location.x, poi.location.y, ", ".join(words))
+            )
+        print("  cost = %.3f\n" % result.cost)
+
+    # The far mega-mall covers everything alone but is a bad plan — the
+    # collective query prefers the cluster of specialized POIs.
+    maxsum = MaxSumExact(context).solve(query)
+    assert 3 not in maxsum.object_ids, "mega-mall should lose to the cluster"
+    print("note: the single mega-mall (POI #3) loses to the downtown cluster.")
+
+
+if __name__ == "__main__":
+    main()

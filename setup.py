@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file exists so the legacy
+(non-PEP-517) editable install path works in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,173 @@
+"""Shared machinery for CoSKQ algorithms.
+
+:class:`SearchContext` bundles a dataset with the two indexes every
+algorithm needs (IR-tree + inverted index), built lazily and shared, so a
+benchmark can run many algorithms over the same data without re-indexing.
+
+:class:`CoSKQAlgorithm` is the algorithm interface: construct against a
+context (and usually a cost function), then call :meth:`solve` per query.
+Common query-time primitives live here too: the nearest-neighbor set
+``N(q)``, the ``d_f`` lower bound, and relevant-object retrieval.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Type
+
+from repro.cost.base import CostFunction
+from repro.errors import InfeasibleQueryError
+from repro.geometry.circle import Circle
+from repro.index.inverted import InvertedIndex
+from repro.index.irtree import IRTree
+from repro.model.dataset import Dataset
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+from repro.model.result import CoSKQResult
+
+__all__ = ["SearchContext", "NNSet", "CoSKQAlgorithm", "minimal_subset"]
+
+
+@dataclass(frozen=True)
+class NNSet:
+    """The paper's nearest-neighbor set ``N(q)`` plus derived bounds.
+
+    ``by_keyword`` maps each query keyword ``t`` to ``(d, NN(q, t))``;
+    ``objects`` is the deduplicated object set; ``d_f`` is
+    ``max_{o∈N(q)} d(o, q)`` — the radius below which no feasible set can
+    keep its farthest member, hence the universal lower bound used by
+    every pruning rule in the paper.
+    """
+
+    by_keyword: Dict[int, Tuple[float, SpatialObject]]
+    objects: Tuple[SpatialObject, ...]
+    d_f: float
+
+    @staticmethod
+    def compute(index: "IRTree", query: Query) -> "NNSet":
+        by_keyword = index.nearest_neighbor_set(query)
+        seen: Dict[int, SpatialObject] = {}
+        d_f = 0.0
+        for dist, obj in by_keyword.values():
+            seen[obj.oid] = obj
+            if dist > d_f:
+                d_f = dist
+        ordered = tuple(sorted(seen.values(), key=lambda o: o.oid))
+        return NNSet(by_keyword=by_keyword, objects=ordered, d_f=d_f)
+
+
+class SearchContext:
+    """A dataset plus lazily built, shared indexes."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        max_entries: int = 16,
+        index_cls: Type = IRTree,
+    ):
+        self.dataset = dataset
+        self.max_entries = max_entries
+        self._index_cls = index_cls
+        self._index = None
+        self._inverted: Optional[InvertedIndex] = None
+
+    @property
+    def index(self):
+        """The IR-tree (or drop-in replacement) over the dataset."""
+        if self._index is None:
+            self._index = self._index_cls.build(
+                self.dataset, max_entries=self.max_entries
+            )
+        return self._index
+
+    @property
+    def inverted(self) -> InvertedIndex:
+        if self._inverted is None:
+            self._inverted = InvertedIndex(self.dataset)
+        return self._inverted
+
+    # -- query-time primitives shared by the algorithms ---------------------
+
+    def check_feasible(self, query: Query) -> None:
+        """Raise :class:`InfeasibleQueryError` if coverage is impossible."""
+        missing = self.inverted.missing_keywords(query.keywords)
+        if missing:
+            raise InfeasibleQueryError(missing)
+
+    def nn_set(self, query: Query) -> NNSet:
+        """``N(q)`` with its ``d_f`` bound."""
+        return NNSet.compute(self.index, query)
+
+    def relevant_in_circle(
+        self, circle: Circle, keywords: FrozenSet[int]
+    ) -> List[SpatialObject]:
+        """Relevant objects (≥ 1 keyword of ``keywords``) inside a disk."""
+        return self.index.relevant_in_circle(circle, keywords)
+
+
+class CoSKQAlgorithm(ABC):
+    """Interface of every CoSKQ solver in the library."""
+
+    #: Identifier used in result provenance and the benchmark reports.
+    name: str = "coskq"
+
+    #: Whether the algorithm guarantees the optimal cost.
+    exact: bool = False
+
+    def __init__(self, context: SearchContext, cost: CostFunction):
+        self.context = context
+        self.cost = cost
+        #: Work counters for the ablation benchmarks; reset per solve().
+        self.counters: Dict[str, int] = {}
+
+    @abstractmethod
+    def solve(self, query: Query) -> CoSKQResult:
+        """Return a feasible set (optimal when :attr:`exact`) for ``query``.
+
+        Raises :class:`~repro.errors.InfeasibleQueryError` when the
+        query keywords cannot be covered by any object set.
+        """
+
+    # -- helpers for subclasses -------------------------------------------------
+
+    def _reset_counters(self) -> None:
+        self.counters = {}
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def _result(self, objects, cost_value: float) -> CoSKQResult:
+        return CoSKQResult.of(
+            objects, cost_value, self.name, counters=dict(self.counters)
+        )
+
+    def _evaluate(self, query: Query, objects) -> float:
+        objects = list(objects)
+        self._bump("cost_evaluations")
+        return self.cost.evaluate(query, objects)
+
+    def __repr__(self) -> str:
+        return "%s(cost=%s)" % (type(self).__name__, self.cost.name)
+
+
+def minimal_subset(
+    query: Query, objects: Tuple[SpatialObject, ...] | List[SpatialObject]
+) -> List[SpatialObject]:
+    """Drop objects that contribute no exclusive query keyword.
+
+    Greedy reverse sweep: an object is removed when the remaining ones
+    still cover ``q.ψ``.  For monotone costs this never increases the
+    cost, so algorithms apply it before scoring candidate sets.
+    """
+    kept = list(objects)
+    for obj in sorted(objects, key=lambda o: -query.location.distance_to(o.location)):
+        without = [o for o in kept if o.oid != obj.oid]
+        if not without:
+            continue
+        covered: set[int] = set()
+        for o in without:
+            covered.update(o.keywords)
+        if query.keywords <= covered:
+            kept = without
+    return kept

@@ -1,0 +1,171 @@
+"""Constrained keyword-cover search used by the exact algorithms.
+
+The owner-driven exact algorithms reduce each owner candidate to the
+question: *is there a set of objects, drawn from a pruned region, that
+covers the remaining keywords while keeping every pairwise distance within
+a cap?*  :func:`find_constrained_cover` answers it with a depth-first
+search that
+
+- branches on the rarest uncovered keyword (narrowest search tree),
+- enforces the pairwise cap incrementally (a candidate violating the cap
+  against any already-chosen object is pruned immediately),
+- deduplicates candidates that are dominated for this sub-search (same
+  relevant keyword trace, and no object between them and every anchor is
+  not tracked — domination here is purely trace equality plus the cap
+  test, which preserves completeness).
+
+Because the cost of a set is fixed by its distance owners, the caller
+needs only *some* valid completion, never the best one — the search stops
+at the first success.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.model.objects import SpatialObject
+
+__all__ = ["find_constrained_cover", "iter_covers", "CoverBudgetExceeded"]
+
+
+class CoverBudgetExceeded(Exception):
+    """Raised when a cover search exceeds its node budget (safety valve)."""
+
+
+def find_constrained_cover(
+    uncovered: FrozenSet[int],
+    candidates: Sequence[SpatialObject],
+    anchors: Sequence[SpatialObject],
+    pair_cap: Optional[float],
+    node_budget: int = 2_000_000,
+) -> Optional[List[SpatialObject]]:
+    """A set of candidates covering ``uncovered`` under the pairwise cap.
+
+    ``anchors`` are objects already committed to the set (the distance
+    owners); every chosen candidate must be within ``pair_cap`` of every
+    anchor and of every other chosen candidate.  ``pair_cap`` of None
+    disables the distance constraint (pure set cover).
+
+    Returns the chosen candidates (without the anchors) or None when no
+    valid cover exists.  Raises :class:`CoverBudgetExceeded` if the
+    search visits more than ``node_budget`` nodes — callers treat this as
+    "give up on this owner", which for the exact algorithms is prevented
+    by their pruning making regions small.
+    """
+    if not uncovered:
+        return []
+
+    by_keyword = _candidates_by_keyword(uncovered, candidates, anchors, pair_cap)
+    if by_keyword is None:
+        return None
+    budget = [node_budget]
+    chosen: List[SpatialObject] = []
+    if _search(frozenset(uncovered), by_keyword, chosen, pair_cap, budget):
+        return list(chosen)
+    return None
+
+
+def _candidates_by_keyword(
+    uncovered: FrozenSet[int],
+    candidates: Sequence[SpatialObject],
+    anchors: Sequence[SpatialObject],
+    pair_cap: Optional[float],
+) -> Optional[Dict[int, List[SpatialObject]]]:
+    """Per-keyword candidate lists, pre-filtered against the anchors.
+
+    Returns None when some keyword has no candidate at all (no cover can
+    exist).  Candidates are deduplicated by their relevant keyword trace
+    *only when co-located*, since distinct locations interact differently
+    with the pairwise cap.
+    """
+    anchor_locations = [a.location for a in anchors]
+    by_keyword: Dict[int, List[SpatialObject]] = {t: [] for t in uncovered}
+    seen_traces: set[Tuple[float, float, FrozenSet[int]]] = set()
+    for obj in candidates:
+        trace = obj.keywords & uncovered
+        if not trace:
+            continue
+        if pair_cap is not None and any(
+            obj.location.distance_to(loc) > pair_cap for loc in anchor_locations
+        ):
+            continue
+        key = (obj.location.x, obj.location.y, trace)
+        if key in seen_traces:
+            continue
+        seen_traces.add(key)
+        for t in trace:
+            by_keyword[t].append(obj)
+    for t, lst in by_keyword.items():
+        if not lst:
+            return None
+        # Richer candidates first: maximizes coverage per branch.
+        lst.sort(key=lambda o: (-len(o.keywords & uncovered), o.oid))
+    return by_keyword
+
+
+def _search(
+    uncovered: FrozenSet[int],
+    by_keyword: Dict[int, List[SpatialObject]],
+    chosen: List[SpatialObject],
+    pair_cap: Optional[float],
+    budget: List[int],
+) -> bool:
+    if not uncovered:
+        return True
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise CoverBudgetExceeded()
+    # Branch on the rarest uncovered keyword.
+    branch_keyword = min(uncovered, key=lambda t: (len(by_keyword[t]), t))
+    for obj in by_keyword[branch_keyword]:
+        if any(o.oid == obj.oid for o in chosen):
+            continue
+        if pair_cap is not None and any(
+            obj.location.distance_to(o.location) > pair_cap for o in chosen
+        ):
+            continue
+        chosen.append(obj)
+        remaining = uncovered - obj.keywords
+        if _search(remaining, by_keyword, chosen, pair_cap, budget):
+            return True
+        chosen.pop()
+    return False
+
+
+def iter_covers(
+    keywords: FrozenSet[int],
+    candidates: Sequence[SpatialObject],
+):
+    """Yield every irredundant cover of ``keywords`` from ``candidates``.
+
+    Each yielded list covers ``keywords``; every object in it covers at
+    least one keyword not covered by the objects before it, so each cover
+    has at most ``|keywords|`` members and no cover is yielded twice.
+    Used by the brute-force oracle, so clarity beats speed here.
+    """
+    by_keyword: Dict[int, List[SpatialObject]] = {t: [] for t in keywords}
+    for obj in candidates:
+        for t in obj.keywords & keywords:
+            by_keyword[t].append(obj)
+    if any(not lst for lst in by_keyword.values()):
+        return
+
+    def rec(uncovered: FrozenSet[int], chosen: List[SpatialObject]):
+        if not uncovered:
+            yield list(chosen)
+            return
+        branch = min(uncovered, key=lambda t: (len(by_keyword[t]), t))
+        for obj in by_keyword[branch]:
+            if any(o.oid == obj.oid for o in chosen):
+                continue
+            chosen.append(obj)
+            yield from rec(uncovered - obj.keywords, chosen)
+            chosen.pop()
+
+    # Distinct branch orders can reach the same object set; deduplicate.
+    seen: set[Tuple[int, ...]] = set()
+    for cover in rec(frozenset(keywords), []):
+        key = tuple(sorted(o.oid for o in cover))
+        if key not in seen:
+            seen.add(key)
+            yield cover

@@ -1,0 +1,31 @@
+"""Dia-Appro: the paper's approximate algorithm for the Dia cost.
+
+The owner-driven approximation scheme configured for :class:`DiaCost`.
+The paper's analysis: with ``r1`` the distance from the optimal owner to
+its farthest greedy pick and ``r2`` the owner's query distance, the built
+set lies in ``C(o*, r1) ∩ C(q, r2)`` whose chord length is at most
+``sqrt(3)`` times ``max(r1, r2)`` — hence the **sqrt(3) ≈ 1.732**
+approximation ratio.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.base import SearchContext
+from repro.algorithms.owner_appro import OwnerRingApproximation
+from repro.cost.functions import DiaCost
+
+__all__ = ["DiaAppro", "DIA_APPRO_RATIO"]
+
+#: The proven approximation ratio of Dia-Appro.
+DIA_APPRO_RATIO = math.sqrt(3.0)
+
+
+class DiaAppro(OwnerRingApproximation):
+    """sqrt(3)-approximation for CoSKQ with the Dia cost."""
+
+    name = "dia-appro"
+
+    def __init__(self, context: SearchContext, cost: DiaCost | None = None):
+        super().__init__(context, cost if cost is not None else DiaCost())

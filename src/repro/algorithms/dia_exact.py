@@ -1,0 +1,26 @@
+"""Dia-Exact: the paper's exact algorithm for the Dia cost.
+
+The distance owner-driven exact engine configured with :class:`DiaCost`.
+The max-combiner gives the engine its fast path: once a feasible
+completion with diameter at most the owner's query distance exists, the
+owner's cost is settled at that distance and no diameter bisection is
+needed (every diameter below ``r`` is cost-indifferent under
+``max(r, d12)``).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import SearchContext
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.cost.functions import DiaCost
+
+__all__ = ["DiaExact"]
+
+
+class DiaExact(OwnerDrivenExact):
+    """Exact CoSKQ for the Dia cost (distance owner-driven)."""
+
+    name = "dia-exact"
+
+    def __init__(self, context: SearchContext, cost: DiaCost | None = None, **kwargs):
+        super().__init__(context, cost if cost is not None else DiaCost(), **kwargs)

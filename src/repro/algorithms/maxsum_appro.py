@@ -1,0 +1,31 @@
+"""MaxSum-Appro: the paper's approximate algorithm for the MaxSum cost.
+
+A thin configuration of the owner-driven approximation scheme
+(:mod:`repro.algorithms.owner_appro`) on :class:`MaxSumCost`.  The
+guarantee proved in the paper: when the iteration reaches the query
+distance owner ``o*`` of an optimal set ``S*`` (it always does — owners
+are enumerated in ascending distance up to the incumbent bound), every
+greedily chosen object lies within ``diam(S*)`` of ``o*`` and within
+``C(q, d(o*, q))``, and the lens geometry then caps the built set's cost
+at **1.375** times the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.owner_appro import OwnerRingApproximation
+from repro.cost.functions import MaxSumCost
+from repro.algorithms.base import SearchContext
+
+__all__ = ["MaxSumAppro", "MAXSUM_APPRO_RATIO"]
+
+#: The proven approximation ratio of MaxSum-Appro.
+MAXSUM_APPRO_RATIO = 1.375
+
+
+class MaxSumAppro(OwnerRingApproximation):
+    """1.375-approximation for CoSKQ with the MaxSum cost."""
+
+    name = "maxsum-appro"
+
+    def __init__(self, context: SearchContext, cost: MaxSumCost | None = None):
+        super().__init__(context, cost if cost is not None else MaxSumCost())

@@ -1,0 +1,141 @@
+"""The distance owner-driven approximation scheme.
+
+Shared engine for the paper's two approximate algorithms (MaxSum-Appro
+and Dia-Appro).  The scheme:
+
+1. Initialize the incumbent with ``N(q)``.
+2. Iterate *query distance owner* candidates ``o`` — relevant objects in
+   ascending ``d(o, q)`` — skipping those below ``d_f`` (no feasible set
+   has its farthest member closer than ``d_f``) and stopping as soon as
+   the owner distance alone already costs at least the incumbent.
+3. For each owner, build one feasible set inside the disk ``C(q, d(o,q))``
+   greedily: repeatedly add the candidate *nearest to the owner* that
+   covers an uncovered keyword.  Keeping the completion close to the
+   owner is what bounds the set diameter and yields the paper's 1.375
+   (MaxSum) and sqrt(3) (Dia) approximation ratios.
+4. Return the cheapest set seen.
+
+Feasibility inside the disk is guaranteed: every ``NN(q, t)`` lies within
+``d_f ≤ d(o, q)`` of the query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.base import CoSKQAlgorithm
+from repro.geometry.circle import Circle
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+from repro.model.result import CoSKQResult
+
+__all__ = ["OwnerRingApproximation", "greedy_completion_near"]
+
+
+def greedy_completion_near(
+    anchor: SpatialObject,
+    uncovered: frozenset[int],
+    candidates: List[SpatialObject],
+) -> List[SpatialObject] | None:
+    """Cover ``uncovered`` greedily with candidates nearest to ``anchor``.
+
+    Repeatedly picks the candidate closest to ``anchor`` that covers at
+    least one still-uncovered keyword.  Returns the chosen objects, or
+    None when the candidates cannot cover everything.
+    """
+    remaining = set(uncovered)
+    chosen: List[SpatialObject] = []
+    # One sort up front; each pass consumes the next useful candidate.
+    ordered = sorted(
+        candidates,
+        key=lambda o: (anchor.location.distance_to(o.location), o.oid),
+    )
+    taken = [False] * len(ordered)
+    while remaining:
+        progressed = False
+        for i, obj in enumerate(ordered):
+            if taken[i]:
+                continue
+            covered_now = obj.keywords & remaining
+            if covered_now:
+                taken[i] = True
+                chosen.append(obj)
+                remaining -= covered_now
+                progressed = True
+                break
+        if not progressed:
+            return None
+    return chosen
+
+
+class OwnerRingApproximation(CoSKQAlgorithm):
+    """Owner-candidate iteration + nearest-to-owner greedy completion."""
+
+    name = "owner-appro"
+    exact = False
+
+    def solve(self, query: Query) -> CoSKQResult:
+        self._reset_counters()
+        nn = self.context.nn_set(query)
+        best: List[SpatialObject] = list(nn.objects)
+        best_cost = self._evaluate(query, best)
+        d_f = nn.d_f
+        index = self.context.index
+        for dist, owner in index.nearest_relevant_iter(query.location, query.keywords):
+            if dist < d_f:
+                # Cannot be the farthest member of any feasible set.
+                continue
+            if self.cost.combine(dist, 0.0) >= best_cost:
+                # Owner distance alone already meets the incumbent; all
+                # later owners are farther, so stop.
+                break
+            self._bump("owners_tried")
+            candidate_set = self._build_for_owner(query, owner, dist, best_cost)
+            if candidate_set is None:
+                continue
+            cost_value = self._evaluate(query, candidate_set)
+            if cost_value < best_cost:
+                best_cost = cost_value
+                best = candidate_set
+        return self._result(best, best_cost)
+
+    def _build_for_owner(
+        self,
+        query: Query,
+        owner: SpatialObject,
+        owner_dist: float,
+        cost_bound: float = float("inf"),
+    ) -> List[SpatialObject] | None:
+        uncovered = set(query.keywords - owner.keywords)
+        if not uncovered:
+            return [owner]
+        # Greedy nearest-to-owner completion in a single disk-pruned walk:
+        # objects stream in ascending distance from the owner, so the
+        # first one covering a still-uncovered keyword is exactly the
+        # greedy pick.  An object skipped as useless can never become
+        # useful later (the uncovered set only shrinks), so one pass
+        # suffices.
+        chosen: List[SpatialObject] = [owner]
+        index = self.context.index
+        disk = Circle(query.location, owner_dist)
+        diam_so_far = 0.0
+        for _, obj in index.nearest_relevant_iter(
+            owner.location, frozenset(uncovered), within=disk
+        ):
+            covered_now = obj.keywords & uncovered
+            if not covered_now:
+                continue
+            for member in chosen:
+                d = member.location.distance_to(obj.location)
+                if d > diam_so_far:
+                    diam_so_far = d
+            # The greedy picks are forced; once the partial set already
+            # costs at least the incumbent this owner cannot win.
+            if self.cost.combine(owner_dist, diam_so_far) >= cost_bound:
+                self._bump("completions_aborted")
+                return None
+            chosen.append(obj)
+            uncovered -= covered_now
+            if not uncovered:
+                return chosen
+        return None

@@ -1,0 +1,286 @@
+"""The distance owner-driven exact search.
+
+Shared engine for the paper's two exact algorithms (MaxSum-Exact and
+Dia-Exact).  The key observation of the paper: the cost of a set ``S`` is
+fully determined by its *distance owners* — the farthest-from-query
+member (query distance owner, at distance ``r``) and the pair realizing
+the maximum pairwise distance (``d12``) — as ``combine(r, d12)``.  So
+instead of searching the exponential space of sets, search the space of
+owners:
+
+1. Seed the incumbent with ``N(q)`` (optionally with the owner-driven
+   *approximate* solution via ``seed_with_appro`` — the paper seeds with
+   its approximation; our ablation finds the exact search's own early
+   owners tighten ``curCost`` just as fast, so plain ``N(q)`` is the
+   default here).
+2. Enumerate query-distance-owner candidates ``o`` in ascending
+   ``d(o, q)``, restricted to the ring ``d_f ≤ d(o, q)`` and stopping
+   once the owner distance alone prices every remaining owner out
+   (``combine(d, 0) ≥ curCost``).
+3. For a fixed owner, the optimal set is the feasible set inside
+   ``C(q, r)`` containing ``o`` with the smallest diameter.  Candidate
+   completions live in ``C(q, r) ∩ C(o, budget)`` where ``budget`` is the
+   largest diameter that still beats the incumbent — the lens-region
+   pruning of the paper.  The minimum achievable diameter is found by
+   monotone bisection over the diameter cap: a cap is *feasible* iff a
+   constrained cover exists (every pairwise distance ≤ cap), feasibility
+   is monotone in the cap, and each successful probe snaps the upper end
+   to the *realized* diameter of the cover it found.  This visits the
+   same lens regions as the paper's explicit enumeration of pairwise
+   distance owner pairs, with the enumeration replaced by bisection.
+4. The true cost of every constructed set updates the incumbent.
+
+Exactness holds up to the bisection tolerance (``1e-9`` relative, the
+:attr:`OwnerDrivenExact.tolerance` attribute); distances are floats, so a
+tolerance-free claim would be illusory anyway.
+
+Constructor switches (`seed_with_appro`, `filter_candidates`,
+`ring_pruning`) exist solely for the pruning-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.base import CoSKQAlgorithm, SearchContext
+from repro.algorithms.cover import CoverBudgetExceeded, find_constrained_cover
+from repro.algorithms.owner_appro import OwnerRingApproximation
+from repro.cost.base import CostFunction, QueryAggregate, pairwise_max_distance
+from repro.geometry.circle import Circle
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+
+__all__ = ["OwnerDrivenExact"]
+
+
+def _pairwise_budget(cost: CostFunction, query_component: float, bound: float) -> float:
+    """``sup { c ≥ 0 : combine(query_component, c) < bound }`` (or -1).
+
+    Numeric inversion (exponential search + bisection); ``combine`` is
+    nondecreasing in the pairwise component for every cost in the
+    library.  The returned value errs on the generous side, so it is safe
+    to use as a pruning radius.
+    """
+    if cost.combine(query_component, 0.0) >= bound:
+        return -1.0
+    hi = max(bound, query_component, 1.0)
+    for _ in range(200):
+        if cost.combine(query_component, hi) >= bound:
+            break
+        hi *= 2.0
+    else:
+        return math.inf  # cost ignores the pairwise component
+    lo = 0.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if cost.combine(query_component, mid) < bound:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def _indifferent_cap(cost: CostFunction, query_component: float, pairwise_lb: float) -> float:
+    """The largest cap costing no more than ``pairwise_lb`` does.
+
+    For additive combiners this is ``pairwise_lb`` itself; for max
+    combiners every diameter up to the query component is free, so a
+    first probe at that cap short-circuits the whole bisection (the Dia
+    fast path).  Computed numerically from ``combine`` so it holds for
+    any cost.
+    """
+    base = cost.combine(query_component, pairwise_lb)
+    hi = max(query_component, pairwise_lb, 1.0) * 2.0 + 1.0
+    if cost.combine(query_component, hi) <= base:
+        return hi
+    lo = pairwise_lb
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if cost.combine(query_component, mid) <= base:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+class OwnerDrivenExact(CoSKQAlgorithm):
+    """Exact CoSKQ search by distance-owner enumeration.
+
+    Requires a cost whose query aggregate is MAX (MaxSum, Dia, Max —
+    the costs the owner decomposition applies to).
+    """
+
+    name = "owner-exact"
+    exact = True
+
+    #: Relative tolerance of the diameter bisection.
+    tolerance = 1e-9
+
+    def __init__(
+        self,
+        context: SearchContext,
+        cost: CostFunction,
+        seed_with_appro: bool = False,
+        filter_candidates: bool = True,
+        ring_pruning: bool = True,
+        cover_node_budget: int = 2_000_000,
+    ):
+        if cost.query_aggregate is not QueryAggregate.MAX:
+            raise ValueError(
+                "owner-driven exact search needs a MAX query aggregate; "
+                "got %s" % cost.query_aggregate
+            )
+        super().__init__(context, cost)
+        self.seed_with_appro = seed_with_appro
+        self.filter_candidates = filter_candidates
+        self.ring_pruning = ring_pruning
+        self.cover_node_budget = cover_node_budget
+
+    # -- main loop -----------------------------------------------------------
+
+    def solve(self, query: Query) -> CoSKQResult:
+        self._reset_counters()
+        nn = self.context.nn_set(query)
+        best: List[SpatialObject] = list(nn.objects)
+        best_cost = self._evaluate(query, best)
+        if self.seed_with_appro:
+            appro = OwnerRingApproximation(self.context, self.cost)
+            seeded = appro.solve(query)
+            self._bump("seed_owners_tried", appro.counters.get("owners_tried", 0))
+            if seeded.cost < best_cost:
+                best_cost = seeded.cost
+                best = list(seeded.objects)
+
+        d_f = nn.d_f if self.ring_pruning else 0.0
+        index = self.context.index
+        for dist, owner in index.nearest_relevant_iter(query.location, query.keywords):
+            if dist < d_f:
+                continue
+            if self.cost.combine(dist, 0.0) >= best_cost:
+                break
+            self._bump("owners_tried")
+            outcome = self._best_for_owner(query, owner, dist, best_cost)
+            if outcome is not None:
+                owner_set, owner_cost = outcome
+                if owner_cost < best_cost:
+                    best_cost = owner_cost
+                    best = owner_set
+        return self._result(best, best_cost)
+
+    # -- per-owner optimization ------------------------------------------------
+
+    def _best_for_owner(
+        self,
+        query: Query,
+        owner: SpatialObject,
+        r: float,
+        cur_cost: float,
+    ) -> Optional[Tuple[List[SpatialObject], float]]:
+        """The cheapest feasible set owned by ``owner`` that beats ``cur_cost``."""
+        uncovered = query.keywords - owner.keywords
+        if not uncovered:
+            singleton = [owner]
+            return singleton, self._evaluate(query, singleton)
+
+        budget = _pairwise_budget(self.cost, r, cur_cost)
+        if budget <= 0.0:
+            return None
+
+        disk = Circle(query.location, r)
+        if self.filter_candidates and not math.isinf(budget):
+            # Candidates live in C(q, r) ∩ C(owner, budget): any farther
+            # object would push the pairwise term past the incumbent.
+            candidates = self.context.index.relevant_in_region(
+                [disk, Circle(owner.location, budget)], uncovered
+            )
+        else:
+            candidates = self.context.relevant_in_circle(disk, uncovered)
+        self._bump("candidates_scanned", len(candidates))
+
+        lower = self._diameter_lower_bound(owner, uncovered, candidates)
+        if lower is None:
+            return None  # some keyword has no candidate near this owner
+        if self.cost.combine(r, lower) >= cur_cost:
+            return None
+
+        cap_hi = budget if not math.isinf(budget) else max(
+            (owner.location.distance_to(c.location) for c in candidates),
+            default=0.0,
+        ) * 2.0
+        probe = self._probe(uncovered, candidates, owner, cap_hi)
+        if probe is None:
+            return None
+        best_set, best_diam = probe
+        self._bump("covers_found")
+
+        # Fast path: any diameter up to the indifferent cap costs the
+        # same as the lower bound — one probe settles the owner.
+        cap0 = _indifferent_cap(self.cost, r, lower)
+        if best_diam > cap0:
+            settled = self._probe(uncovered, candidates, owner, cap0)
+            if settled is not None:
+                best_set, best_diam = settled
+            else:
+                lo = cap0
+                hi = best_diam
+                tol = self.tolerance * max(1.0, hi)
+                while hi - lo > tol:
+                    self._bump("bisection_probes")
+                    mid = (lo + hi) / 2.0
+                    shrunk = self._probe(uncovered, candidates, owner, mid)
+                    if shrunk is None:
+                        lo = mid
+                    else:
+                        best_set, best_diam = shrunk
+                        hi = best_diam
+        return best_set, self._evaluate(query, best_set)
+
+    def _probe(
+        self,
+        uncovered: frozenset,
+        candidates: List[SpatialObject],
+        owner: SpatialObject,
+        cap: float,
+    ) -> Optional[Tuple[List[SpatialObject], float]]:
+        """Try covering under a diameter cap; return (set, true diameter)."""
+        self._bump("cover_probes")
+        try:
+            cover = find_constrained_cover(
+                uncovered,
+                candidates,
+                anchors=[owner],
+                pair_cap=cap,
+                node_budget=self.cover_node_budget,
+            )
+        except CoverBudgetExceeded:
+            self._bump("cover_budget_exceeded")
+            return None
+        if cover is None:
+            return None
+        full = [owner] + cover
+        return full, pairwise_max_distance(full)
+
+    @staticmethod
+    def _diameter_lower_bound(
+        owner: SpatialObject,
+        uncovered: frozenset,
+        candidates: List[SpatialObject],
+    ) -> Optional[float]:
+        """``max_t min_{candidate covering t} d(candidate, owner)``.
+
+        Every feasible completion contains, for each uncovered keyword, an
+        object at least this far from the owner, so no set owned by
+        ``owner`` has a smaller diameter.  None when some keyword has no
+        candidate at all.
+        """
+        best_per_keyword: Dict[int, float] = {}
+        for cand in candidates:
+            d = owner.location.distance_to(cand.location)
+            for t in cand.keywords & uncovered:
+                cur = best_per_keyword.get(t)
+                if cur is None or d < cur:
+                    best_per_keyword[t] = d
+        if len(best_per_keyword) < len(uncovered):
+            return None
+        return max(best_per_keyword.values())

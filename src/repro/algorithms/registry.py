@@ -1,0 +1,84 @@
+"""Name-based algorithm registry for the CLI and the benchmark harness.
+
+Each entry maps a stable name to a factory ``(context) -> algorithm``
+with the algorithm's paper-default cost baked in; the harness can also
+pass an explicit cost for the baselines that are adapted across costs
+(Cao-Exact/Appro1/Appro2 in the Dia experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.algorithms.base import CoSKQAlgorithm, SearchContext
+from repro.algorithms.bruteforce import BruteForceExact
+from repro.algorithms.cao_appro import CaoAppro1, CaoAppro2
+from repro.algorithms.cao_exact import BranchBoundExact, CaoExact
+from repro.algorithms.dia_appro import DiaAppro
+from repro.algorithms.dia_exact import DiaExact
+from repro.algorithms.maxsum_appro import MaxSumAppro
+from repro.algorithms.maxsum_exact import MaxSumExact
+from repro.algorithms.nnset import NNSetAlgorithm
+from repro.algorithms.sum_algorithms import SumExact, SumGreedy
+from repro.algorithms.topk import TopKCoSKQ
+from repro.algorithms.unified_appro import UnifiedAppro
+from repro.algorithms.unified_exact import UnifiedExact
+from repro.cost.base import CostFunction
+from repro.cost.functions import cost_by_name
+from repro.errors import InvalidParameterError
+
+__all__ = ["make_algorithm", "ALGORITHM_NAMES"]
+
+Factory = Callable[[SearchContext, Optional[CostFunction]], CoSKQAlgorithm]
+
+
+def _with_default(cls, default_cost_name: str) -> Factory:
+    def factory(context: SearchContext, cost: Optional[CostFunction]) -> CoSKQAlgorithm:
+        return cls(context, cost if cost is not None else cost_by_name(default_cost_name))
+
+    return factory
+
+
+_FACTORIES: Dict[str, Factory] = {
+    # Paper algorithms (fixed costs).
+    "maxsum-exact": lambda ctx, cost: MaxSumExact(ctx, cost),
+    "maxsum-appro": lambda ctx, cost: MaxSumAppro(ctx, cost),
+    "dia-exact": lambda ctx, cost: DiaExact(ctx, cost),
+    "dia-appro": lambda ctx, cost: DiaAppro(ctx, cost),
+    # Baselines (cost-generic; default to the paper's MaxSum).
+    "cao-exact": _with_default(CaoExact, "maxsum"),
+    "bnb-exact": _with_default(BranchBoundExact, "maxsum"),
+    "cao-appro1": _with_default(CaoAppro1, "maxsum"),
+    "cao-appro2": _with_default(CaoAppro2, "maxsum"),
+    "nn-set": _with_default(NNSetAlgorithm, "maxsum"),
+    # Extensions.
+    "sum-exact": lambda ctx, cost: SumExact(ctx, cost),
+    "sum-greedy": lambda ctx, cost: SumGreedy(ctx, cost),
+    "unified-appro": _with_default(UnifiedAppro, "maxsum"),
+    "unified-exact": _with_default(UnifiedExact, "maxsum"),
+    "topk": _with_default(TopKCoSKQ, "maxsum"),
+    # Oracle.
+    "bruteforce": _with_default(BruteForceExact, "maxsum"),
+}
+
+ALGORITHM_NAMES = tuple(sorted(_FACTORIES))
+
+
+def make_algorithm(
+    name: str,
+    context: SearchContext,
+    cost: Optional[CostFunction] = None,
+) -> CoSKQAlgorithm:
+    """Instantiate a registered algorithm over ``context``.
+
+    ``cost`` overrides the algorithm's default cost where that makes
+    sense (the cost-generic baselines and extensions); the paper
+    algorithms validate their fixed cost type themselves.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            "unknown algorithm %r; known: %s" % (name, list(ALGORITHM_NAMES))
+        ) from None
+    return factory(context, cost)

@@ -1,0 +1,26 @@
+"""Benchmark harness: runners, reports and the experiment suite."""
+
+from repro.bench.experiments import EXPERIMENTS, FULL, QUICK, Scale, run_experiment
+from repro.bench.report import SeriesTable, format_kv_table
+from repro.bench.runner import (
+    RatioResult,
+    TimingResult,
+    ratio_study,
+    solve_all,
+    time_algorithm,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "Scale",
+    "QUICK",
+    "FULL",
+    "SeriesTable",
+    "format_kv_table",
+    "TimingResult",
+    "RatioResult",
+    "time_algorithm",
+    "ratio_study",
+    "solve_all",
+]

@@ -1,0 +1,79 @@
+"""The ``coskq-bench`` command line: regenerate the paper's figures.
+
+Usage::
+
+    coskq-bench list                 # show available experiment ids
+    coskq-bench all --quick          # run every experiment at quick scale
+    coskq-bench maxsum_hotel         # one experiment at full scale
+    coskq-bench scalability --quick
+
+Reports print to stdout in the table shapes EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coskq-bench",
+        description="Regenerate the CoSKQ paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small datasets / few queries (minutes instead of hours)",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        default=None,
+        help="additionally write SVG figures of each experiment's series",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.svg is not None:
+        import pathlib
+
+        from repro.bench import experiments as experiments_module
+
+        experiments_module.FIGURE_DIR = pathlib.Path(args.svg)
+    if args.experiment == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        if experiment_id not in EXPERIMENTS:
+            print(
+                "unknown experiment %r; try 'coskq-bench list'" % experiment_id,
+                file=sys.stderr,
+            )
+            return 2
+        started = time.perf_counter()
+        print("=" * 72)
+        print("experiment: %s (%s)" % (experiment_id, "quick" if args.quick else "full"))
+        print("=" * 72)
+        print(run_experiment(experiment_id, quick=args.quick))
+        print("[%s finished in %.1fs]" % (experiment_id, time.perf_counter() - started))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Plain-text report tables in the shape of the paper's figures.
+
+Each paper figure is a set of series over a swept parameter (running time
+vs |q.ψ|, ratio bars vs |q.ψ|, time vs |O|).  :class:`SeriesTable`
+collects those series and renders an aligned text table, which is what
+the benchmark CLI prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["SeriesTable", "format_kv_table"]
+
+
+@dataclass
+class SeriesTable:
+    """Series of numbers indexed by a swept x value."""
+
+    title: str
+    x_label: str
+    x_values: List = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    unit: str = ""
+
+    def add(self, name: str, value: float) -> None:
+        """Append the next value to series ``name`` (x row order)."""
+        self.series.setdefault(name, []).append(value)
+
+    def render(self, precision: int = 6) -> str:
+        names = list(self.series)
+        header = [self.x_label] + names
+        rows: List[List[str]] = []
+        for i, x in enumerate(self.x_values):
+            row = [str(x)]
+            for name in names:
+                values = self.series[name]
+                row.append(
+                    _fmt(values[i], precision) if i < len(values) else "-"
+                )
+            rows.append(row)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = [self.title + (" [%s]" % self.unit if self.unit else "")]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _fmt(value: float, precision: int) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+        return "%.*g" % (precision, value)
+    return ("%.*f" % (precision, value)).rstrip("0").rstrip(".")
+
+
+def format_kv_table(title: str, rows: Sequence[Dict[str, object]], key: str) -> str:
+    """Render dict rows (e.g. dataset statistics) as an aligned table."""
+    if not rows:
+        return title + "\n(no rows)"
+    columns = [key] + [c for c in rows[0] if c != key]
+    table_rows = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in table_rows))
+        for i in range(len(columns))
+    ]
+    lines = [title]
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,323 @@
+"""Minimal SVG figure rendering for the benchmark reports.
+
+The paper presents its evaluation as line charts (running time vs
+|q.ψ|, log-scale y) and bar charts (approximation ratios).  This module
+renders :class:`~repro.bench.report.SeriesTable` data to standalone SVG
+with nothing but the standard library, so the harness can emit
+figure files next to the text tables even in this offline environment.
+
+The output is deliberately simple — axes, ticks, series in distinct
+dash patterns with markers, a legend — enough to eyeball the shapes the
+reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.report import SeriesTable
+
+__all__ = ["render_line_chart", "render_bar_chart"]
+
+WIDTH = 640
+HEIGHT = 420
+MARGIN_LEFT = 70
+MARGIN_RIGHT = 160
+MARGIN_TOP = 46
+MARGIN_BOTTOM = 56
+
+#: Grayscale-safe stroke styles (color, dash pattern, marker glyph).
+SERIES_STYLES = [
+    ("#1f77b4", "", "circle"),
+    ("#d62728", "6,3", "square"),
+    ("#2ca02c", "2,3", "diamond"),
+    ("#9467bd", "8,3,2,3", "triangle"),
+    ("#8c564b", "1,2", "cross"),
+    ("#e377c2", "10,4", "circle"),
+]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    """Roughly ``count`` round tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(count - 1, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for multiplier in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = magnitude * multiplier
+        if step >= raw_step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step / 2:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Powers of ten covering [lo, hi]."""
+    start = math.floor(math.log10(lo))
+    stop = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(start, stop + 1)]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return "%.0e" % value
+    return ("%.3f" % value).rstrip("0").rstrip(".")
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    size = 4.0
+    if shape == "square":
+        return '<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>' % (
+            x - size / 2, y - size / 2, size, size, color,
+        )
+    if shape == "diamond":
+        pts = "%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" % (
+            x, y - size, x + size, y, x, y + size, x - size, y,
+        )
+        return '<polygon points="%s" fill="%s"/>' % (pts, color)
+    if shape == "triangle":
+        pts = "%.1f,%.1f %.1f,%.1f %.1f,%.1f" % (
+            x, y - size, x + size, y + size, x - size, y + size,
+        )
+        return '<polygon points="%s" fill="%s"/>' % (pts, color)
+    if shape == "cross":
+        return (
+            '<path d="M%.1f %.1f L%.1f %.1f M%.1f %.1f L%.1f %.1f" '
+            'stroke="%s" stroke-width="1.5"/>'
+            % (x - size, y - size, x + size, y + size,
+               x - size, y + size, x + size, y - size, color)
+        )
+    return '<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>' % (x, y, size / 1.4, color)
+
+
+def render_line_chart(table: SeriesTable, log_y: bool = False) -> str:
+    """Render a SeriesTable as an SVG line chart (one line per series).
+
+    NaN cells (DNF entries) leave gaps in their series, mirroring how
+    the paper omits points for algorithms that did not finish.
+    """
+    xs = [float(x) for x in table.x_values]
+    all_values = _finite([v for series in table.series.values() for v in series])
+    if not xs or not all_values:
+        return _empty_chart(table.title)
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if log_y:
+        positive = [v for v in all_values if v > 0]
+        if not positive:
+            return _empty_chart(table.title)
+        y_lo, y_hi = min(positive), max(positive)
+        y_ticks = _log_ticks(y_lo, y_hi)
+        y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+        def y_pos(v: float) -> float:
+            span = math.log10(y_hi) - math.log10(y_lo) or 1.0
+            frac = (math.log10(v) - math.log10(y_lo)) / span
+            return HEIGHT - MARGIN_BOTTOM - frac * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+
+    else:
+        y_lo = min(all_values + [0.0]) if min(all_values) >= 0 else min(all_values)
+        y_hi = max(all_values)
+        y_ticks = _nice_ticks(y_lo, y_hi)
+        y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+        def y_pos(v: float) -> float:
+            span = (y_hi - y_lo) or 1.0
+            frac = (v - y_lo) / span
+            return HEIGHT - MARGIN_BOTTOM - frac * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+
+    def x_pos(v: float) -> float:
+        frac = (v - x_lo) / (x_hi - x_lo)
+        return MARGIN_LEFT + frac * (WIDTH - MARGIN_LEFT - MARGIN_RIGHT)
+
+    parts: List[str] = [_svg_header(table.title)]
+    parts.extend(_axes(x_pos, y_pos, xs, y_ticks, table.x_label, table.unit))
+    for idx, (name, values) in enumerate(table.series.items()):
+        color, dash, marker = SERIES_STYLES[idx % len(SERIES_STYLES)]
+        points: List[Tuple[float, float]] = []
+        segments: List[List[Tuple[float, float]]] = [[]]
+        for x, v in zip(xs, values):
+            if isinstance(v, float) and not math.isfinite(v):
+                if segments[-1]:
+                    segments.append([])
+                continue
+            if log_y and v <= 0:
+                continue
+            pt = (x_pos(x), y_pos(v))
+            points.append(pt)
+            segments[-1].append(pt)
+        for segment in segments:
+            if len(segment) >= 2:
+                path = " ".join("%.1f,%.1f" % pt for pt in segment)
+                parts.append(
+                    '<polyline points="%s" fill="none" stroke="%s" '
+                    'stroke-width="1.8"%s/>'
+                    % (path, color, ' stroke-dasharray="%s"' % dash if dash else "")
+                )
+        for px, py in points:
+            parts.append(_marker(marker, px, py, color))
+        legend_y = MARGIN_TOP + 16 * idx
+        legend_x = WIDTH - MARGIN_RIGHT + 12
+        parts.append(
+            '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.8"%s/>'
+            % (legend_x, legend_y, legend_x + 22, legend_y, color,
+               ' stroke-dasharray="%s"' % dash if dash else "")
+        )
+        parts.append(_marker(marker, legend_x + 11, legend_y, color))
+        parts.append(
+            '<text x="%d" y="%d" font-size="11">%s</text>'
+            % (legend_x + 28, legend_y + 4, _escape(name))
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_bar_chart(
+    title: str,
+    bars: Dict[str, Tuple[float, float, float]],
+    y_label: str = "approximation ratio",
+) -> str:
+    """Render (avg, min, max) ratio bars with error whiskers.
+
+    ``bars`` maps series name → (average, minimum, maximum) — the shape
+    of the paper's approximation-ratio charts.
+    """
+    if not bars:
+        return _empty_chart(title)
+    y_hi = max(high for _, _, high in bars.values())
+    y_ticks = _nice_ticks(1.0, max(y_hi, 1.05))
+    y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+    def y_pos(v: float) -> float:
+        span = (y_hi - y_lo) or 1.0
+        frac = (v - y_lo) / span
+        return HEIGHT - MARGIN_BOTTOM - frac * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+
+    plot_width = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    slot = plot_width / len(bars)
+    bar_width = slot * 0.5
+    parts = [_svg_header(title)]
+    # Y axis and ticks.
+    parts.append(
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>'
+        % (MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, HEIGHT - MARGIN_BOTTOM)
+    )
+    for tick in y_ticks:
+        ty = y_pos(tick)
+        parts.append(
+            '<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>'
+            % (MARGIN_LEFT, ty, WIDTH - MARGIN_RIGHT, ty)
+        )
+        parts.append(
+            '<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>'
+            % (MARGIN_LEFT - 6, ty + 3, _format_tick(tick))
+        )
+    parts.append(
+        '<text x="16" y="%d" font-size="11" transform="rotate(-90 16 %d)">%s</text>'
+        % (HEIGHT // 2, HEIGHT // 2, _escape(y_label))
+    )
+    for idx, (name, (avg, low, high)) in enumerate(bars.items()):
+        color, _, _ = SERIES_STYLES[idx % len(SERIES_STYLES)]
+        center = MARGIN_LEFT + slot * (idx + 0.5)
+        x0 = center - bar_width / 2
+        top = y_pos(avg)
+        bottom = y_pos(max(y_lo, min(1.0, avg)))
+        base = y_pos(y_lo)
+        parts.append(
+            '<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" '
+            'fill-opacity="0.65"/>'
+            % (x0, top, bar_width, max(base - top, 0.5), color)
+        )
+        # min/max whisker
+        parts.append(
+            '<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>'
+            % (center, y_pos(low), center, y_pos(high))
+        )
+        for whisker in (low, high):
+            parts.append(
+                '<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>'
+                % (center - 5, y_pos(whisker), center + 5, y_pos(whisker))
+            )
+        parts.append(
+            '<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>'
+            % (center, HEIGHT - MARGIN_BOTTOM + 16, _escape(name))
+        )
+        del bottom  # bars are drawn from avg down to the axis floor
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _svg_header(title: str) -> str:
+    return (
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'viewBox="0 0 %d %d" font-family="sans-serif">\n'
+        '<rect width="%d" height="%d" fill="white"/>\n'
+        '<text x="%d" y="24" font-size="13" font-weight="bold">%s</text>'
+        % (WIDTH, HEIGHT, WIDTH, HEIGHT, WIDTH, HEIGHT, MARGIN_LEFT, _escape(title))
+    )
+
+
+def _empty_chart(title: str) -> str:
+    return _svg_header(title) + '\n<text x="70" y="200">no data</text>\n</svg>'
+
+
+def _axes(x_pos, y_pos, xs, y_ticks, x_label: str, unit: str) -> List[str]:
+    parts = []
+    x_axis_y = HEIGHT - MARGIN_BOTTOM
+    parts.append(
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>'
+        % (MARGIN_LEFT, x_axis_y, WIDTH - MARGIN_RIGHT, x_axis_y)
+    )
+    parts.append(
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>'
+        % (MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, x_axis_y)
+    )
+    for x in sorted(set(xs)):
+        px = x_pos(x)
+        parts.append(
+            '<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>'
+            % (px, x_axis_y, px, x_axis_y + 4)
+        )
+        parts.append(
+            '<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>'
+            % (px, x_axis_y + 16, _format_tick(float(x)))
+        )
+    for tick in y_ticks:
+        ty = y_pos(tick)
+        parts.append(
+            '<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>'
+            % (MARGIN_LEFT, ty, WIDTH - MARGIN_RIGHT, ty)
+        )
+        parts.append(
+            '<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>'
+            % (MARGIN_LEFT - 6, ty + 3, _format_tick(tick))
+        )
+    parts.append(
+        '<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>'
+        % ((MARGIN_LEFT + WIDTH - MARGIN_RIGHT) // 2, HEIGHT - 12, _escape(x_label))
+    )
+    if unit:
+        parts.append(
+            '<text x="16" y="%d" font-size="11" transform="rotate(-90 16 %d)">%s</text>'
+            % (HEIGHT // 2, HEIGHT // 2, _escape(unit))
+        )
+    return parts

@@ -1,0 +1,166 @@
+"""The named CoSKQ cost functions.
+
+The two costs of the SIGMOD 2013 paper:
+
+- :class:`MaxSumCost` — ``max_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2)``.
+  Cao et al. (SIGMOD 2011) introduced it as the α-weighted combination
+  with α = 0.5; the unweighted form used here ranks sets identically
+  (it is the α = 0.5 form scaled by 2).
+- :class:`DiaCost` — ``max{max_{o∈S} d(o,q), max_{o1,o2∈S} d(o1,o2)}``,
+  the diameter of ``S ∪ {q}``; introduced by the paper.
+
+The remaining costs come from the surrounding literature (Cao et al. 2011
+/ TODS 2015 and the TKDE 2018 generalization) and are provided as
+extensions: Sum, SumMax, MinMax, MinMax2, Max and Min.
+"""
+
+from __future__ import annotations
+
+from repro.cost.base import Combiner, CostFunction, QueryAggregate
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "MaxSumCost",
+    "DiaCost",
+    "SumCost",
+    "SumMaxCost",
+    "MinMaxCost",
+    "MinMax2Cost",
+    "MaxCost",
+    "MinCost",
+    "cost_by_name",
+    "PAPER_COSTS",
+    "ALL_COSTS",
+]
+
+
+class _WeightedAdd(CostFunction):
+    """Shared base for α-weighted additive costs."""
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidParameterError("alpha must be in (0, 1], got %r" % (alpha,))
+        self.alpha = alpha
+
+    def combine(self, query_component: float, pairwise_component: float) -> float:
+        if self.alpha == 1.0:
+            return query_component
+        # The paper fixes alpha = 0.5 and drops the common factor, which
+        # preserves the ranking of candidate sets; we keep the weighted
+        # form so other alphas remain expressible.
+        return self.alpha * query_component + (1.0 - self.alpha) * pairwise_component
+
+
+class MaxSumCost(_WeightedAdd):
+    """The paper's primary cost: farthest query distance plus diameter.
+
+    With the default ``alpha = 0.5`` this ranks sets exactly like the
+    unweighted ``max d(o,q) + diam`` form used in the paper's exposition.
+    """
+
+    name = "maxsum"
+    query_aggregate = QueryAggregate.MAX
+    combiner = Combiner.ADD
+
+
+class DiaCost(CostFunction):
+    """The paper's new cost: the diameter of ``S ∪ {q}``."""
+
+    name = "dia"
+    query_aggregate = QueryAggregate.MAX
+    combiner = Combiner.MAX
+
+    def combine(self, query_component: float, pairwise_component: float) -> float:
+        return max(query_component, pairwise_component)
+
+
+class SumCost(CostFunction):
+    """Sum of query distances (Cao et al.); ignores pairwise distances."""
+
+    name = "sum"
+    query_aggregate = QueryAggregate.SUM
+    combiner = Combiner.ADD
+
+    def combine(self, query_component: float, pairwise_component: float) -> float:
+        return query_component
+
+
+class SumMaxCost(_WeightedAdd):
+    """α·(sum of query distances) + (1−α)·diameter (Cao et al. TODS 2015)."""
+
+    name = "summax"
+    query_aggregate = QueryAggregate.SUM
+    combiner = Combiner.ADD
+
+
+class MinMaxCost(_WeightedAdd):
+    """α·(nearest query distance) + (1−α)·diameter (Cao et al. TODS 2015)."""
+
+    name = "minmax"
+    query_aggregate = QueryAggregate.MIN
+    combiner = Combiner.ADD
+
+
+class MinMax2Cost(CostFunction):
+    """max{nearest query distance, diameter} (TKDE 2018 extension)."""
+
+    name = "minmax2"
+    query_aggregate = QueryAggregate.MIN
+    combiner = Combiner.MAX
+
+    def combine(self, query_component: float, pairwise_component: float) -> float:
+        return max(query_component, pairwise_component)
+
+
+class MaxCost(CostFunction):
+    """Farthest query distance only; ``N(q)`` is optimal for it."""
+
+    name = "max"
+    query_aggregate = QueryAggregate.MAX
+    combiner = Combiner.ADD
+
+    def combine(self, query_component: float, pairwise_component: float) -> float:
+        return query_component
+
+
+class MinCost(CostFunction):
+    """Nearest query distance only.
+
+    Of no practical interest (the whole dataset is a trivial minimizer);
+    kept because the unified cost function can instantiate it and the
+    tests exercise that mapping.
+    """
+
+    name = "min"
+    query_aggregate = QueryAggregate.MIN
+    combiner = Combiner.ADD
+
+    def combine(self, query_component: float, pairwise_component: float) -> float:
+        return query_component
+
+
+#: The two cost functions of the SIGMOD 2013 paper.
+PAPER_COSTS = ("maxsum", "dia")
+
+#: Every named cost, mapped to its zero-argument constructor.
+ALL_COSTS = {
+    "maxsum": MaxSumCost,
+    "dia": DiaCost,
+    "sum": SumCost,
+    "summax": SumMaxCost,
+    "minmax": MinMaxCost,
+    "minmax2": MinMax2Cost,
+    "max": MaxCost,
+    "min": MinCost,
+}
+
+
+def cost_by_name(name: str) -> CostFunction:
+    """Instantiate a named cost function with its default parameters."""
+    try:
+        factory = ALL_COSTS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            "unknown cost %r; known: %s" % (name, sorted(ALL_COSTS))
+        ) from None
+    return factory()

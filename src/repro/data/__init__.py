@@ -1,0 +1,33 @@
+"""Workload substrate: generators, query workloads and augmentation."""
+
+from repro.data.augment import densify_keywords, scale_dataset
+from repro.data.io import DelimitedFormat, from_coordinate_keyword_pairs, load_delimited
+from repro.data.generators import (
+    GeneratorProfile,
+    clustered_dataset,
+    generate_profile,
+    gn_like,
+    hotel_like,
+    uniform_dataset,
+    web_like,
+)
+from repro.data.queries import QueryWorkload, generate_queries
+from repro.data.zipf import ZipfSampler
+
+__all__ = [
+    "ZipfSampler",
+    "DelimitedFormat",
+    "load_delimited",
+    "from_coordinate_keyword_pairs",
+    "GeneratorProfile",
+    "generate_profile",
+    "uniform_dataset",
+    "clustered_dataset",
+    "hotel_like",
+    "gn_like",
+    "web_like",
+    "QueryWorkload",
+    "generate_queries",
+    "scale_dataset",
+    "densify_keywords",
+]

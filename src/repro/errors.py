@@ -1,0 +1,54 @@
+"""Exception hierarchy for the CoSKQ library.
+
+Every error raised deliberately by this package derives from
+:class:`CoSKQError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CoSKQError",
+    "InfeasibleQueryError",
+    "UnknownKeywordError",
+    "DatasetFormatError",
+    "InvalidParameterError",
+]
+
+
+class CoSKQError(Exception):
+    """Base class for all library errors."""
+
+
+class UnknownKeywordError(CoSKQError, KeyError):
+    """A keyword string has no id in the vocabulary."""
+
+    def __init__(self, keyword: str):
+        super().__init__(keyword)
+        self.keyword = keyword
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return "unknown keyword: %r" % (self.keyword,)
+
+
+class InfeasibleQueryError(CoSKQError):
+    """No object set in the dataset can cover the query keywords.
+
+    Raised when some query keyword is carried by no object at all, making
+    every candidate set infeasible.
+    """
+
+    def __init__(self, missing_keywords):
+        self.missing_keywords = frozenset(missing_keywords)
+        super().__init__(
+            "query keywords covered by no object: %s"
+            % (sorted(self.missing_keywords),)
+        )
+
+
+class DatasetFormatError(CoSKQError):
+    """A dataset file does not follow the expected text format."""
+
+
+class InvalidParameterError(CoSKQError, ValueError):
+    """An algorithm or cost function received an out-of-domain parameter."""

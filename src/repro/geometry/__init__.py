@@ -1,0 +1,30 @@
+"""Planar geometry substrate: points, rectangles, disks and lens regions."""
+
+from repro.geometry.circle import Circle, Lens, Ring, lens_chord_length
+from repro.geometry.mbr import MBR
+from repro.geometry.point import (
+    Point,
+    centroid,
+    diameter,
+    distance,
+    distance_xy,
+    farthest_pair,
+    midpoint,
+    squared_distance,
+)
+
+__all__ = [
+    "Point",
+    "MBR",
+    "Circle",
+    "Lens",
+    "Ring",
+    "lens_chord_length",
+    "distance",
+    "distance_xy",
+    "squared_distance",
+    "midpoint",
+    "centroid",
+    "diameter",
+    "farthest_pair",
+]

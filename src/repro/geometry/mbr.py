@@ -1,0 +1,163 @@
+"""Minimum bounding rectangles (axis-aligned) for the R-tree family.
+
+The R-tree and IR-tree prune subtrees with two classic bounds computed
+here: ``min_distance`` (the smallest possible distance from a point to any
+point of the rectangle — admissible for nearest-neighbor search) and
+``max_distance`` (the largest possible distance — used for safe inclusion
+in range queries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry.point import Point
+
+__all__ = ["MBR"]
+
+
+@dataclass(frozen=True, slots=True)
+class MBR:
+    """An immutable axis-aligned rectangle ``[min_x, max_x] × [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "degenerate MBR: (%r, %r, %r, %r)"
+                % (self.min_x, self.min_y, self.max_x, self.max_y)
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_point(p: Point) -> "MBR":
+        """The degenerate rectangle containing exactly ``p``."""
+        return MBR(p.x, p.y, p.x, p.y)
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "MBR":
+        """The tightest rectangle containing all ``points`` (non-empty)."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("MBR.from_points() of an empty collection") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for p in it:
+            if p.x < min_x:
+                min_x = p.x
+            elif p.x > max_x:
+                max_x = p.x
+            if p.y < min_y:
+                min_y = p.y
+            elif p.y > max_y:
+                max_y = p.y
+        return MBR(min_x, min_y, max_x, max_y)
+
+    @staticmethod
+    def union_all(rects: Sequence["MBR"]) -> "MBR":
+        """The tightest rectangle containing every rectangle in ``rects``."""
+        if not rects:
+            raise ValueError("MBR.union_all() of an empty collection")
+        min_x = min(r.min_x for r in rects)
+        min_y = min(r.min_y for r in rects)
+        max_x = max(r.max_x for r in rects)
+        max_y = max(r.max_y for r in rects)
+        return MBR(min_x, min_y, max_x, max_y)
+
+    # -- measures ----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter; the R*-style split quality measure."""
+        return self.width + self.height
+
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # -- set operations ----------------------------------------------------
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to absorb ``other`` (R-tree ChooseLeaf)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "MBR") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains(self, other: "MBR") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    # -- distances ---------------------------------------------------------
+
+    def min_distance(self, p: Point) -> float:
+        """Smallest distance from ``p`` to any point of the rectangle.
+
+        Zero when ``p`` lies inside.  This is the admissible lower bound
+        driving best-first nearest-neighbor search.
+        """
+        dx = 0.0
+        if p.x < self.min_x:
+            dx = self.min_x - p.x
+        elif p.x > self.max_x:
+            dx = p.x - self.max_x
+        dy = 0.0
+        if p.y < self.min_y:
+            dy = self.min_y - p.y
+        elif p.y > self.max_y:
+            dy = p.y - self.max_y
+        if dx == 0.0:
+            return dy
+        if dy == 0.0:
+            return dx
+        return math.hypot(dx, dy)
+
+    def max_distance(self, p: Point) -> float:
+        """Largest distance from ``p`` to any point of the rectangle."""
+        dx = max(abs(p.x - self.min_x), abs(p.x - self.max_x))
+        dy = max(abs(p.y - self.min_y), abs(p.y - self.max_y))
+        return math.hypot(dx, dy)
+
+    def corners(self) -> Iterator[Point]:
+        yield Point(self.min_x, self.min_y)
+        yield Point(self.min_x, self.max_y)
+        yield Point(self.max_x, self.min_y)
+        yield Point(self.max_x, self.max_y)

@@ -1,0 +1,132 @@
+"""Planar points and Euclidean distance primitives.
+
+Everything in the CoSKQ problem is measured with the Euclidean metric on
+the plane, so this module is the bottom of the dependency stack: the data
+model, the spatial indexes and every algorithm build on it.
+
+Points are plain immutable value objects.  Hot loops in the algorithms
+avoid attribute chasing by using the free functions :func:`distance` and
+:func:`distance_xy` on raw coordinates where it matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Point",
+    "distance",
+    "distance_xy",
+    "squared_distance",
+    "midpoint",
+    "centroid",
+    "diameter",
+    "farthest_pair",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """An immutable point in the plane.
+
+    Ordering is lexicographic on ``(x, y)`` which makes points usable as
+    deterministic tie-breakers in priority queues.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance from this point to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (cheaper; monotone in distance)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """This point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def distance_xy(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between raw coordinates (hot-loop friendly)."""
+    return math.hypot(ax - bx, ay - by)
+
+
+def squared_distance(a: Point, b: Point) -> float:
+    """Squared Euclidean distance between two points."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of segment ``ab``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """The arithmetic mean of a non-empty collection of points."""
+    xs = 0.0
+    ys = 0.0
+    n = 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid() of an empty collection")
+    return Point(xs / n, ys / n)
+
+
+def diameter(points: Sequence[Point]) -> float:
+    """The maximum pairwise distance of ``points`` (0.0 for fewer than 2).
+
+    Quadratic scan; the CoSKQ result sets this is applied to have at most
+    ``|q.psi|`` members, so a convex-hull rotating-calipers pass would be
+    slower in practice.
+    """
+    best = 0.0
+    n = len(points)
+    for i in range(n):
+        pi = points[i]
+        for j in range(i + 1, n):
+            d = pi.distance_to(points[j])
+            if d > best:
+                best = d
+    return best
+
+
+def farthest_pair(points: Sequence[Point]) -> Tuple[int, int, float]:
+    """Indices and distance of the farthest pair of ``points``.
+
+    Returns ``(i, j, d)`` with ``i < j``; ``(0, 0, 0.0)`` when fewer than
+    two points are given.
+    """
+    besti, bestj, best = 0, 0, 0.0
+    n = len(points)
+    for i in range(n):
+        pi = points[i]
+        for j in range(i + 1, n):
+            d = pi.distance_to(points[j])
+            if d > best:
+                besti, bestj, best = i, j, d
+    return besti, bestj, best

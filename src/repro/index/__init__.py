@@ -1,0 +1,16 @@
+"""Spatial-textual indexing: inverted index, R-tree and IR-tree."""
+
+from repro.index.inverted import InvertedIndex
+from repro.index.irtree import IRTree, IRTreeNode
+from repro.index.neighbors import LinearScanIndex
+from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree, RTreeNode
+
+__all__ = [
+    "InvertedIndex",
+    "RTree",
+    "RTreeNode",
+    "IRTree",
+    "IRTreeNode",
+    "LinearScanIndex",
+    "DEFAULT_MAX_ENTRIES",
+]

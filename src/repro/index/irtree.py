@@ -1,0 +1,431 @@
+"""The IR-tree: an R-tree whose nodes carry per-subtree keyword summaries.
+
+The IR-tree (Cong et al., VLDB 2009) is the index the CoSKQ paper runs
+on.  Each node stores, besides its MBR, the union of the keyword sets in
+its subtree (a compact stand-in for the node's inverted file — sufficient
+for the boolean keyword containment tests CoSKQ needs).  This enables:
+
+- ``keyword_nn(p, t)`` — the nearest object to ``p`` carrying keyword
+  ``t`` (the paper's ``NN(p, t)``), via best-first traversal that skips
+  subtrees whose keyword summary misses ``t``;
+- ``nearest_relevant_iter(p, W)`` — incremental distance-ordered
+  iteration over objects carrying at least one keyword of ``W``;
+- ``relevant_in_circle(c, W)`` — keyword-filtered circle range queries;
+- ``nearest_neighbor_set(q)`` — the paper's ``N(q)``, one ``NN(q, t)``
+  per query keyword.
+
+The tree is bulk-loaded with STR over the dataset; dynamic insertion is
+supported as well so incremental workloads can be modeled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InfeasibleQueryError
+from repro.geometry.circle import Circle
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.index.rtree import DEFAULT_MAX_ENTRIES, _pack_upward, _str_tiles  # noqa: F401
+from repro.model.dataset import Dataset
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+
+__all__ = ["IRTree", "IRTreeNode"]
+
+
+class IRTreeNode:
+    """One IR-tree node: MBR + subtree keyword union.
+
+    Leaf nodes store objects directly; internal nodes store children.
+    """
+
+    __slots__ = ("is_leaf", "objects", "children", "mbr", "keywords")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.objects: List[SpatialObject] = []
+        self.children: List["IRTreeNode"] = []
+        self.mbr: Optional[MBR] = None
+        self.keywords: Set[int] = set()
+
+    def entry_count(self) -> int:
+        return len(self.objects) if self.is_leaf else len(self.children)
+
+    def recompute_summaries(self) -> None:
+        """Rebuild this node's MBR and keyword union from its entries."""
+        self.keywords = set()
+        if self.is_leaf:
+            self.mbr = (
+                MBR.from_points(o.location for o in self.objects)
+                if self.objects
+                else None
+            )
+            for obj in self.objects:
+                self.keywords.update(obj.keywords)
+        else:
+            rects = [c.mbr for c in self.children if c.mbr is not None]
+            self.mbr = MBR.union_all(rects) if rects else None
+            for child in self.children:
+                self.keywords.update(child.keywords)
+
+
+class IRTree:
+    """A bulk-loaded (or incrementally built) IR-tree over a dataset."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self.max_entries = max_entries
+        self.root = IRTreeNode(is_leaf=True)
+        self._size = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, dataset: Dataset, max_entries: int = DEFAULT_MAX_ENTRIES) -> "IRTree":
+        """STR bulk-load an IR-tree over all objects of ``dataset``."""
+        tree = cls(max_entries=max_entries)
+        entries = [(obj.location, obj) for obj in dataset]
+        if not entries:
+            return tree
+        leaves: List[IRTreeNode] = []
+        for chunk in _str_tiles(entries, max_entries):
+            leaf = IRTreeNode(is_leaf=True)
+            leaf.objects = [obj for _, obj in chunk]
+            leaf.recompute_summaries()
+            leaves.append(leaf)
+        tree.root = _pack_ir_upward(leaves, max_entries)
+        tree._size = len(entries)
+        return tree
+
+    def insert(self, obj: SpatialObject) -> None:
+        """Insert one object, keeping MBRs and keyword summaries tight."""
+        split = self._insert_into(self.root, obj)
+        if split is not None:
+            old_root = self.root
+            new_root = IRTreeNode(is_leaf=False)
+            new_root.children = [old_root, split]
+            new_root.recompute_summaries()
+            self.root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: IRTreeNode, obj: SpatialObject) -> Optional[IRTreeNode]:
+        if node.is_leaf:
+            node.objects.append(obj)
+            if len(node.objects) > self.max_entries:
+                return self._split_leaf(node)
+            node.recompute_summaries()
+            return None
+        child = _choose_ir_subtree(node.children, obj.location)
+        split = self._insert_into(child, obj)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.max_entries:
+                return self._split_internal(node)
+        node.recompute_summaries()
+        return None
+
+    def _split_leaf(self, node: IRTreeNode) -> IRTreeNode:
+        objects = sorted(node.objects, key=_sort_key)
+        half = len(objects) // 2
+        new_node = IRTreeNode(is_leaf=True)
+        node.objects = objects[:half]
+        new_node.objects = objects[half:]
+        node.recompute_summaries()
+        new_node.recompute_summaries()
+        return new_node
+
+    def _split_internal(self, node: IRTreeNode) -> IRTreeNode:
+        children = sorted(
+            node.children,
+            key=lambda c: (c.mbr.center().x, c.mbr.center().y)
+            if c.mbr is not None
+            else (0.0, 0.0),
+        )
+        half = len(children) // 2
+        new_node = IRTreeNode(is_leaf=False)
+        node.children = children[:half]
+        new_node.children = children[half:]
+        node.recompute_summaries()
+        new_node.recompute_summaries()
+        return new_node
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def nearest_relevant_iter(
+        self, point: Point, keywords: FrozenSet[int], within: Circle | None = None
+    ) -> Iterator[Tuple[float, SpatialObject]]:
+        """Objects carrying any keyword of ``keywords``, by ascending distance.
+
+        Best-first traversal; subtrees whose keyword summary is disjoint
+        from ``keywords`` are never opened.  ``within`` additionally
+        restricts results (and the traversal) to a closed disk — the
+        owner-driven algorithms search ``C(q, r)`` anchored elsewhere, and
+        pruning the disk inside the traversal is what makes that cheap.
+        """
+        if self.root.mbr is None:
+            return
+        counter = itertools.count()
+        heap: List[Tuple[float, int, bool, object]] = []
+        if not self.root.keywords.isdisjoint(keywords):
+            heapq.heappush(
+                heap,
+                (self.root.mbr.min_distance(point), next(counter), False, self.root),
+            )
+        w_center = within.center if within is not None else None
+        w_radius = within.radius if within is not None else 0.0
+        while heap:
+            dist, _, is_object, item = heapq.heappop(heap)
+            if is_object:
+                yield dist, item  # type: ignore[misc]
+                continue
+            node: IRTreeNode = item  # type: ignore[assignment]
+            if node.is_leaf:
+                for obj in node.objects:
+                    if obj.keywords.isdisjoint(keywords):
+                        continue
+                    if (
+                        w_center is not None
+                        and w_center.distance_to(obj.location) > w_radius
+                    ):
+                        continue
+                    d = point.distance_to(obj.location)
+                    heapq.heappush(heap, (d, next(counter), True, obj))
+            else:
+                for child in node.children:
+                    if child.mbr is None or child.keywords.isdisjoint(keywords):
+                        continue
+                    if (
+                        w_center is not None
+                        and child.mbr.min_distance(w_center) > w_radius
+                    ):
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (child.mbr.min_distance(point), next(counter), False, child),
+                    )
+
+    def keyword_nn(
+        self, point: Point, keyword_id: int
+    ) -> Optional[Tuple[float, SpatialObject]]:
+        """The paper's ``NN(point, t)``: nearest object carrying ``t``.
+
+        Returns ``(distance, object)`` or None when no object carries the
+        keyword.  Ties on distance are broken deterministically by object
+        id through the traversal's insertion counter, so repeated calls
+        agree.
+        """
+        target = frozenset((keyword_id,))
+        for dist, obj in self.nearest_relevant_iter(point, target):
+            return dist, obj
+        return None
+
+    def boolean_knn(self, query: Query, k: int) -> List[Tuple[float, SpatialObject]]:
+        """Boolean kNN: the k nearest objects covering *all* query keywords.
+
+        The single-object spatial keyword query from the related work
+        (Felipe et al., ICDE 2008): each result object individually
+        carries every keyword of ``q.ψ``; results ascend by distance.
+        Returns fewer than k when fewer qualifying objects exist (an
+        empty list when no single object covers the whole query — the
+        situation CoSKQ exists to solve).
+        """
+        out: List[Tuple[float, SpatialObject]] = []
+        if k <= 0:
+            return out
+        for dist, obj in self.nearest_relevant_iter(query.location, query.keywords):
+            if query.keywords <= obj.keywords:
+                out.append((dist, obj))
+                if len(out) >= k:
+                    break
+        return out
+
+    def nearest_neighbor_set(self, query: Query) -> Dict[int, Tuple[float, SpatialObject]]:
+        """The paper's ``N(q)``: for each ``t ∈ q.ψ`` the object ``NN(q, t)``.
+
+        Returns a map keyword id → (distance, object).  Raises
+        :class:`InfeasibleQueryError` when some query keyword is carried
+        by no object — then no feasible set exists at all.
+        """
+        out: Dict[int, Tuple[float, SpatialObject]] = {}
+        missing: List[int] = []
+        for t in query.keywords:
+            hit = self.keyword_nn(query.location, t)
+            if hit is None:
+                missing.append(t)
+            else:
+                out[t] = hit
+        if missing:
+            raise InfeasibleQueryError(missing)
+        return out
+
+    def relevant_in_circle(
+        self, circle: Circle, keywords: FrozenSet[int]
+    ) -> List[SpatialObject]:
+        """Objects in the closed disk carrying any keyword of ``keywords``."""
+        out: List[SpatialObject] = []
+        if self.root.mbr is None:
+            return out
+        center = circle.center
+        radius = circle.radius
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or node.keywords.isdisjoint(keywords):
+                continue
+            if not circle.intersects_mbr(node.mbr):
+                continue
+            if node.is_leaf:
+                for obj in node.objects:
+                    if (
+                        not obj.keywords.isdisjoint(keywords)
+                        and center.distance_to(obj.location) <= radius
+                    ):
+                        out.append(obj)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def relevant_in_region(
+        self, circles: Sequence[Circle], keywords: FrozenSet[int]
+    ) -> List[SpatialObject]:
+        """Relevant objects inside the intersection of all ``circles``.
+
+        The owner-driven exact search restricts completion candidates to
+        ``C(q, r) ∩ C(owner, budget)``; pruning both disks during one
+        traversal avoids materializing the (much larger) single-disk set.
+        """
+        out: List[SpatialObject] = []
+        if self.root.mbr is None or not circles:
+            return out
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or node.keywords.isdisjoint(keywords):
+                continue
+            if any(node.mbr.min_distance(c.center) > c.radius for c in circles):
+                continue
+            if node.is_leaf:
+                for obj in node.objects:
+                    if obj.keywords.isdisjoint(keywords):
+                        continue
+                    if all(c.contains(obj.location) for c in circles):
+                        out.append(obj)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def objects_in_circle(self, circle: Circle) -> List[SpatialObject]:
+        """All objects in the closed disk, regardless of keywords."""
+        out: List[SpatialObject] = []
+        if self.root.mbr is None:
+            return out
+        center = circle.center
+        radius = circle.radius
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not circle.intersects_mbr(node.mbr):
+                continue
+            if node.is_leaf:
+                for obj in node.objects:
+                    if center.distance_to(obj.location) <= radius:
+                        out.append(obj)
+            else:
+                stack.extend(node.children)
+        return out
+
+    # -- introspection ---------------------------------------------------------
+
+    def height(self) -> int:
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on any structural or summary violation."""
+        count = _check_ir_node(self.root, self.max_entries, is_root=True)
+        assert count == self._size, "entry count %d != size %d" % (count, self._size)
+
+    def all_objects(self) -> Iterator[SpatialObject]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.objects
+            else:
+                stack.extend(node.children)
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _sort_key(obj: SpatialObject) -> Tuple[float, float, int]:
+    return (obj.location.x, obj.location.y, obj.oid)
+
+
+def _choose_ir_subtree(children: Sequence[IRTreeNode], point: Point) -> IRTreeNode:
+    """Least enlargement, ties by area (Guttman ChooseLeaf)."""
+    rect = MBR.from_point(point)
+    best = children[0]
+    best_key = (math.inf, math.inf)
+    for child in children:
+        if child.mbr is None:
+            return child
+        key = (child.mbr.enlargement(rect), child.mbr.area())
+        if key < best_key:
+            best_key = key
+            best = child
+    return best
+
+
+def _pack_ir_upward(nodes: List[IRTreeNode], capacity: int) -> IRTreeNode:
+    """Stack IR-node levels until a single root remains."""
+    if not nodes:
+        return IRTreeNode(is_leaf=True)
+    while len(nodes) > 1:
+        parents: List[IRTreeNode] = []
+        nodes.sort(
+            key=lambda nd: (nd.mbr.center().x, nd.mbr.center().y)
+            if nd.mbr is not None
+            else (0.0, 0.0)
+        )
+        for start in range(0, len(nodes), capacity):
+            parent = IRTreeNode(is_leaf=False)
+            parent.children = nodes[start : start + capacity]
+            parent.recompute_summaries()
+            parents.append(parent)
+        nodes = parents
+    return nodes[0]
+
+
+def _check_ir_node(node: IRTreeNode, max_entries: int, is_root: bool) -> int:
+    assert node.entry_count() <= max_entries, "node overflow"
+    if not is_root:
+        assert node.entry_count() >= 1, "empty non-root node"
+    if node.is_leaf:
+        expected: Set[int] = set()
+        for obj in node.objects:
+            expected.update(obj.keywords)
+            assert node.mbr is not None and node.mbr.contains_point(obj.location)
+        assert node.keywords == expected, "stale leaf keyword summary"
+        return len(node.objects)
+    total = 0
+    expected = set()
+    for child in node.children:
+        assert child.mbr is not None and node.mbr is not None
+        assert node.mbr.contains(child.mbr), "loose internal MBR"
+        expected.update(child.keywords)
+        total += _check_ir_node(child, max_entries, is_root=False)
+    assert node.keywords == expected, "stale internal keyword summary"
+    return total

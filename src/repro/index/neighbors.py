@@ -1,0 +1,107 @@
+"""A linear-scan "index" sharing the IR-tree query interface.
+
+Two uses:
+
+- it is the oracle the property-based tests compare the R-tree/IR-tree
+  against (any disagreement is an index bug);
+- it is the no-index baseline of the ``ablation_index`` benchmark, showing
+  what the IR-tree buys the CoSKQ algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import InfeasibleQueryError
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.model.dataset import Dataset
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+
+__all__ = ["LinearScanIndex"]
+
+
+class LinearScanIndex:
+    """Answers the IR-tree query mix by scanning the whole dataset."""
+
+    def __init__(self, dataset: Dataset):
+        self._objects = list(dataset.objects)
+
+    @classmethod
+    def build(cls, dataset: Dataset, max_entries: int | None = None) -> "LinearScanIndex":
+        """Signature-compatible with :meth:`IRTree.build`."""
+        return cls(dataset)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def nearest_relevant_iter(
+        self, point: Point, keywords: FrozenSet[int], within: Circle | None = None
+    ) -> Iterator[Tuple[float, SpatialObject]]:
+        """Relevant objects by ascending distance (full sort)."""
+        hits = [
+            (point.distance_to(o.location), o.oid, o)
+            for o in self._objects
+            if not o.keywords.isdisjoint(keywords)
+            and (within is None or within.contains(o.location))
+        ]
+        hits.sort(key=lambda t: (t[0], t[1]))
+        for dist, _, obj in hits:
+            yield dist, obj
+
+    def relevant_in_region(
+        self, circles, keywords: FrozenSet[int]
+    ) -> List[SpatialObject]:
+        """Relevant objects inside the intersection of all ``circles``."""
+        return [
+            o
+            for o in self._objects
+            if not o.keywords.isdisjoint(keywords)
+            and all(c.contains(o.location) for c in circles)
+        ]
+
+    def keyword_nn(
+        self, point: Point, keyword_id: int
+    ) -> Optional[Tuple[float, SpatialObject]]:
+        """Nearest object carrying ``keyword_id`` (ties by object id)."""
+        best: Optional[Tuple[float, int, SpatialObject]] = None
+        for obj in self._objects:
+            if keyword_id in obj.keywords:
+                d = point.distance_to(obj.location)
+                key = (d, obj.oid, obj)
+                if best is None or key[:2] < best[:2]:
+                    best = key
+        if best is None:
+            return None
+        return best[0], best[2]
+
+    def nearest_neighbor_set(
+        self, query: Query
+    ) -> Dict[int, Tuple[float, SpatialObject]]:
+        """``N(q)`` by linear scan; raises on uncoverable keywords."""
+        out: Dict[int, Tuple[float, SpatialObject]] = {}
+        missing: List[int] = []
+        for t in query.keywords:
+            hit = self.keyword_nn(query.location, t)
+            if hit is None:
+                missing.append(t)
+            else:
+                out[t] = hit
+        if missing:
+            raise InfeasibleQueryError(missing)
+        return out
+
+    def relevant_in_circle(
+        self, circle: Circle, keywords: FrozenSet[int]
+    ) -> List[SpatialObject]:
+        """Relevant objects inside the closed disk."""
+        return [
+            o
+            for o in self._objects
+            if not o.keywords.isdisjoint(keywords) and circle.contains(o.location)
+        ]
+
+    def objects_in_circle(self, circle: Circle) -> List[SpatialObject]:
+        """All objects inside the closed disk."""
+        return [o for o in self._objects if circle.contains(o.location)]

@@ -1,0 +1,16 @@
+"""Data model: vocabularies, objects, datasets, queries and results."""
+
+from repro.model.dataset import Dataset, DatasetStatistics
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+from repro.model.result import CoSKQResult
+from repro.model.vocabulary import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "SpatialObject",
+    "Dataset",
+    "DatasetStatistics",
+    "Query",
+    "CoSKQResult",
+]

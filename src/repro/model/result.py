@@ -1,0 +1,63 @@
+"""Results returned by CoSKQ algorithms.
+
+A :class:`CoSKQResult` pairs the selected object set with the cost it was
+scored at, plus light provenance (algorithm name, counters useful for the
+ablation benchmarks).  Results validate their own feasibility so tests and
+the benchmark harness can assert correctness uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+
+__all__ = ["CoSKQResult"]
+
+
+@dataclass(frozen=True)
+class CoSKQResult:
+    """The outcome of running a CoSKQ algorithm on one query."""
+
+    objects: Tuple[SpatialObject, ...]
+    cost: float
+    algorithm: str
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def of(
+        objects: Iterable[SpatialObject],
+        cost: float,
+        algorithm: str,
+        counters: Dict[str, int] | None = None,
+    ) -> "CoSKQResult":
+        """Build a result with objects ordered deterministically by oid."""
+        ordered = tuple(sorted(objects, key=lambda o: o.oid))
+        return CoSKQResult(ordered, cost, algorithm, counters or {})
+
+    @property
+    def object_ids(self) -> Tuple[int, ...]:
+        return tuple(o.oid for o in self.objects)
+
+    def covered_keywords(self) -> FrozenSet[int]:
+        """Union of the keyword sets of the selected objects."""
+        covered: set[int] = set()
+        for obj in self.objects:
+            covered.update(obj.keywords)
+        return frozenset(covered)
+
+    def is_feasible_for(self, query: Query) -> bool:
+        """Whether the selected set covers every query keyword."""
+        return query.keywords <= self.covered_keywords()
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __repr__(self) -> str:
+        return "CoSKQResult(%s, cost=%.6g, objects=%s)" % (
+            self.algorithm,
+            self.cost,
+            list(self.object_ids),
+        )

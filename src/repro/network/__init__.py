@@ -1,0 +1,21 @@
+"""Road-network CoSKQ (extension): graphs, datasets and solvers."""
+
+from repro.network.algorithms import (
+    NetworkBnBExact,
+    NetworkContext,
+    NetworkGreedyAppro,
+    NetworkNNSetAlgorithm,
+)
+from repro.network.dataset import NetworkDataset, random_network_dataset
+from repro.network.graph import RoadNetwork, grid_network
+
+__all__ = [
+    "RoadNetwork",
+    "grid_network",
+    "NetworkDataset",
+    "random_network_dataset",
+    "NetworkContext",
+    "NetworkNNSetAlgorithm",
+    "NetworkGreedyAppro",
+    "NetworkBnBExact",
+]

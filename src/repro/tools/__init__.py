@@ -1,0 +1,5 @@
+"""User-facing command-line tools."""
+
+from repro.tools.query_cli import main as query_main
+
+__all__ = ["query_main"]

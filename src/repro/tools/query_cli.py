@@ -1,0 +1,133 @@
+"""The ``coskq-query`` command line: ad-hoc CoSKQ over a dataset file.
+
+Usage::
+
+    coskq-query data.tsv --at 500 500 --keywords museum shopping restaurant
+    coskq-query data.tsv --at 500 500 --keywords spa gym \
+        --algorithm maxsum-appro --cost dia
+    coskq-query data.tsv --at 500 500 --keywords spa gym --top 3
+    coskq-query --demo --keywords w0001 w0002   # generated demo dataset
+
+The dataset file uses the library's text format — one object per line,
+``x<TAB>y<TAB>word word ...`` (see :meth:`repro.model.Dataset.load`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import ALGORITHM_NAMES, make_algorithm
+from repro.algorithms.topk import TopKCoSKQ
+from repro.cost.functions import ALL_COSTS, cost_by_name
+from repro.errors import CoSKQError
+from repro.model.dataset import Dataset
+from repro.model.query import Query
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coskq-query",
+        description="Run a collective spatial keyword query over a dataset file.",
+    )
+    parser.add_argument("dataset", nargs="?", help="dataset file (text format)")
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="use a generated demo dataset instead of a file",
+    )
+    parser.add_argument(
+        "--at",
+        nargs=2,
+        type=float,
+        metavar=("X", "Y"),
+        required=True,
+        help="query location",
+    )
+    parser.add_argument(
+        "--keywords",
+        nargs="+",
+        required=True,
+        help="query keywords (words, not ids)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="maxsum-exact",
+        choices=sorted(ALGORITHM_NAMES),
+        help="solver to run (default: maxsum-exact)",
+    )
+    parser.add_argument(
+        "--cost",
+        default=None,
+        choices=sorted(ALL_COSTS),
+        help="override the solver's default cost function",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="report the K cheapest sets instead of one (monotone costs)",
+    )
+    return parser
+
+
+def _print_result(result, dataset: Dataset, query: Query, rank: Optional[int]) -> None:
+    prefix = "" if rank is None else "#%d " % rank
+    print("%s%s: cost %.6g" % (prefix, result.algorithm, result.cost))
+    for obj in result.objects:
+        words = sorted(dataset.vocabulary.word_of(k) for k in obj.keywords)
+        print(
+            "  object %d at (%.6g, %.6g), distance %.6g: %s"
+            % (
+                obj.oid,
+                obj.location.x,
+                obj.location.y,
+                query.location.distance_to(obj.location),
+                " ".join(words),
+            )
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.demo == (args.dataset is not None):
+        print("provide a dataset file or --demo (not both)", file=sys.stderr)
+        return 2
+    try:
+        if args.demo:
+            from repro.data.generators import hotel_like
+
+            dataset = hotel_like(scale=0.1, seed=0)
+        else:
+            dataset = Dataset.load(args.dataset)
+        context = SearchContext(dataset)
+        x, y = args.at
+        query = Query.from_words(x, y, args.keywords, dataset.vocabulary)
+        cost = cost_by_name(args.cost) if args.cost else None
+        if args.top is not None:
+            topk = TopKCoSKQ(
+                context,
+                cost if cost is not None else cost_by_name("maxsum"),
+                k=args.top,
+            )
+            for rank, result in enumerate(topk.solve_topk(query), start=1):
+                _print_result(result, dataset, query, rank)
+        else:
+            algorithm = make_algorithm(args.algorithm, context, cost=cost)
+            _print_result(algorithm.solve(query), dataset, query, None)
+        return 0
+    except CoSKQError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Shared numeric and randomness helpers."""
+
+from repro.utils.rng import make_rng, substream
+from repro.utils.stats import Summary, harmonic_number, percentile, summarize
+
+__all__ = [
+    "make_rng",
+    "substream",
+    "harmonic_number",
+    "percentile",
+    "Summary",
+    "summarize",
+]

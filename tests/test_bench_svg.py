@@ -1,0 +1,91 @@
+"""Tests for the stdlib SVG figure renderer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.report import SeriesTable
+from repro.bench.svg import render_bar_chart, render_line_chart
+
+
+def sample_table(**kwargs):
+    table = SeriesTable(title="time vs k", x_label="|q.psi|", unit="s", **kwargs)
+    table.x_values = [3, 6, 9]
+    table.series = {
+        "exact": [0.01, 0.1, 1.0],
+        "appro": [0.001, 0.004, 0.02],
+    }
+    return table
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        root = parse(render_line_chart(sample_table()))
+        assert root.tag.endswith("svg")
+
+    def test_series_names_in_legend(self):
+        svg = render_line_chart(sample_table())
+        assert "exact" in svg and "appro" in svg
+
+    def test_title_rendered(self):
+        assert "time vs k" in render_line_chart(sample_table())
+
+    def test_polylines_present(self):
+        svg = render_line_chart(sample_table())
+        assert svg.count("<polyline") == 2
+
+    def test_log_scale(self):
+        svg = render_line_chart(sample_table(), log_y=True)
+        parse(svg)  # still valid
+        # Log ticks include powers of ten covering [0.001, 1].
+        assert "1e-03" in svg and "0.1" in svg
+
+    def test_nan_leaves_gap(self):
+        table = sample_table()
+        table.series["dnf"] = [0.5, math.nan, 0.7]
+        svg = render_line_chart(table)
+        parse(svg)
+        assert "nan" not in svg.lower() or "dnf" in svg  # no NaN coordinates
+        assert "NaN" not in svg
+
+    def test_empty_table(self):
+        table = SeriesTable(title="empty", x_label="x")
+        svg = render_line_chart(table)
+        assert "no data" in svg
+
+    def test_title_escaped(self):
+        table = sample_table()
+        table.title = "a < b & c"
+        svg = render_line_chart(table)
+        parse(svg)
+        assert "a &lt; b &amp; c" in svg
+
+
+class TestBarChart:
+    BARS = {
+        "maxsum-appro": (1.01, 1.0, 1.05),
+        "cao-appro1": (1.4, 1.0, 2.0),
+        "cao-appro2": (1.07, 1.0, 1.4),
+    }
+
+    def test_valid_xml(self):
+        parse(render_bar_chart("ratios", self.BARS))
+
+    def test_all_series_labelled(self):
+        svg = render_bar_chart("ratios", self.BARS)
+        for name in self.BARS:
+            assert name in svg
+
+    def test_bar_and_whisker_counts(self):
+        svg = render_bar_chart("ratios", self.BARS)
+        assert svg.count("<rect") == 1 + len(self.BARS)  # background + bars
+        # Each bar carries one vertical whisker and two caps.
+        assert svg.count("<line") >= 3 * len(self.BARS)
+
+    def test_empty_bars(self):
+        assert "no data" in render_bar_chart("ratios", {})

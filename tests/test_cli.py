@@ -1,0 +1,54 @@
+"""Tests for the coskq-bench command line."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+from repro.bench import cli as cli_module
+from repro.bench.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_parses_experiment(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert not args.quick
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["all", "--quick"])
+        assert args.quick
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_single_experiment(self, capsys, monkeypatch):
+        calls = []
+
+        def fake_run(experiment_id, quick=False):
+            calls.append((experiment_id, quick))
+            return "REPORT-BODY"
+
+        monkeypatch.setattr(cli_module, "run_experiment", fake_run)
+        assert main(["table1", "--quick"]) == 0
+        assert calls == [("table1", True)]
+        out = capsys.readouterr().out
+        assert "REPORT-BODY" in out
+        assert "experiment: table1 (quick)" in out
+
+    def test_all_runs_every_experiment(self, capsys, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            cli_module,
+            "run_experiment",
+            lambda experiment_id, quick=False: calls.append(experiment_id) or "ok",
+        )
+        assert main(["all", "--quick"]) == 0
+        assert sorted(calls) == sorted(EXPERIMENTS)

@@ -1,0 +1,124 @@
+"""Tests for the constrained cover search and cover enumeration."""
+
+import pytest
+
+from repro.algorithms.cover import (
+    CoverBudgetExceeded,
+    find_constrained_cover,
+    iter_covers,
+)
+from repro.geometry.point import Point
+from repro.model.objects import SpatialObject
+
+
+def obj(oid, x, y, keywords):
+    return SpatialObject(oid, Point(x, y), frozenset(keywords))
+
+
+class TestFindConstrainedCover:
+    def test_empty_uncovered_is_trivial(self):
+        assert find_constrained_cover(frozenset(), [], [], None) == []
+
+    def test_simple_cover(self):
+        candidates = [obj(0, 0, 0, [1]), obj(1, 1, 0, [2])]
+        cover = find_constrained_cover(frozenset({1, 2}), candidates, [], None)
+        assert cover is not None
+        assert {o.oid for o in cover} == {0, 1}
+
+    def test_missing_keyword_returns_none(self):
+        candidates = [obj(0, 0, 0, [1])]
+        assert find_constrained_cover(frozenset({1, 2}), candidates, [], None) is None
+
+    def test_pair_cap_excludes_far_candidates(self):
+        near = obj(0, 0, 0, [1])
+        far = obj(1, 100, 0, [2])
+        # Without cap a cover exists; with a tight cap it does not.
+        assert find_constrained_cover(frozenset({1, 2}), [near, far], [], None)
+        assert (
+            find_constrained_cover(frozenset({1, 2}), [near, far], [], pair_cap=10.0)
+            is None
+        )
+
+    def test_anchor_constraint(self):
+        anchor = obj(9, 0, 0, [])
+        good = obj(0, 1, 0, [1])
+        bad = obj(1, 50, 0, [1])
+        cover = find_constrained_cover(
+            frozenset({1}), [bad, good], [anchor], pair_cap=5.0
+        )
+        assert cover is not None
+        assert cover[0].oid == 0
+
+    def test_cap_boundary_inclusive(self):
+        anchor = obj(9, 0, 0, [])
+        candidate = obj(0, 3, 4, [1])  # distance exactly 5 from anchor
+        cover = find_constrained_cover(frozenset({1}), [candidate], [anchor], 5.0)
+        assert cover is not None
+
+    def test_multi_keyword_object_preferred(self):
+        rich = obj(0, 0, 0, [1, 2, 3])
+        poor = [obj(1, 1, 0, [1]), obj(2, 2, 0, [2]), obj(3, 3, 0, [3])]
+        cover = find_constrained_cover(frozenset({1, 2, 3}), [rich] + poor, [], None)
+        assert cover is not None
+        assert len(cover) == 1 and cover[0].oid == 0
+
+    def test_requires_backtracking(self):
+        # Choosing the rich object for keyword 1 makes keyword 3
+        # uncoverable within the cap; the search must back off to the
+        # poor pair.
+        a = obj(0, 0, 0, [1, 2])
+        b = obj(1, 100, 0, [1])
+        c = obj(2, 101, 0, [2, 3])
+        cover = find_constrained_cover(
+            frozenset({1, 2, 3}), [a, b, c], [], pair_cap=5.0
+        )
+        assert cover is not None
+        assert {o.oid for o in cover} == {1, 2}
+
+    def test_colocated_duplicate_traces_deduplicated(self):
+        twins = [obj(i, 0, 0, [1]) for i in range(50)]
+        cover = find_constrained_cover(frozenset({1}), twins, [], None)
+        assert cover is not None and len(cover) == 1
+
+    def test_budget_exceeded_raises(self):
+        # Many interchangeable candidates per keyword with an impossible
+        # joint constraint forces exhaustive backtracking.
+        candidates = []
+        oid = 0
+        for t in (1, 2, 3, 4):
+            for i in range(12):
+                candidates.append(obj(oid, t * 1000 + i, i * 7, [t]))
+                oid += 1
+        with pytest.raises(CoverBudgetExceeded):
+            find_constrained_cover(
+                frozenset({1, 2, 3, 4}), candidates, [], pair_cap=1.0, node_budget=5
+            )
+
+
+class TestIterCovers:
+    def test_yields_all_irredundant_covers(self):
+        # "Irredundant" is insertion-order: every object covers a keyword
+        # new at its insertion time.  [0, 2] qualifies (0 brought keyword
+        # 1, then 2 brought keyword 2) even though 0 is globally
+        # redundant — the oracle only needs completeness, and the minimum
+        # cost is unaffected by extra covers.
+        candidates = [obj(0, 0, 0, [1]), obj(1, 1, 0, [2]), obj(2, 2, 0, [1, 2])]
+        covers = [sorted(o.oid for o in c) for c in iter_covers(frozenset({1, 2}), candidates)]
+        assert sorted(covers) == [[0, 1], [0, 2], [2]]
+
+    def test_no_duplicates(self):
+        candidates = [obj(i, i, 0, [1, 2]) for i in range(4)]
+        covers = [tuple(sorted(o.oid for o in c)) for c in iter_covers(frozenset({1, 2}), candidates)]
+        assert len(covers) == len(set(covers)) == 4
+
+    def test_uncoverable_yields_nothing(self):
+        assert list(iter_covers(frozenset({1}), [obj(0, 0, 0, [2])])) == []
+
+    def test_cover_sizes_bounded_by_keywords(self):
+        candidates = [obj(i, i, 0, [i % 3]) for i in range(9)]
+        for cover in iter_covers(frozenset({0, 1, 2}), candidates):
+            assert len(cover) <= 3
+            covered = set()
+            for o in cover:
+                covered |= o.keywords
+            assert {0, 1, 2} <= covered

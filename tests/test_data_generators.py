@@ -1,0 +1,104 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.data.generators import (
+    WORLD_SIZE,
+    GeneratorProfile,
+    clustered_dataset,
+    generate_profile,
+    gn_like,
+    hotel_like,
+    uniform_dataset,
+    web_like,
+)
+
+
+class TestProfileValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile("x", 0, 10, 3.0)
+        with pytest.raises(ValueError):
+            GeneratorProfile("x", 10, 0, 3.0)
+
+    def test_rejects_bad_mean_keywords(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile("x", 10, 10, 0.5)
+
+    def test_rejects_bad_cluster_fraction(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile("x", 10, 10, 3.0, cluster_fraction=1.5)
+
+
+class TestGeneration:
+    def test_object_count_and_ids(self):
+        ds = uniform_dataset(200, 30, seed=1)
+        assert len(ds) == 200
+        assert [o.oid for o in ds] == list(range(200))
+
+    def test_every_object_has_keywords(self):
+        ds = uniform_dataset(200, 30, seed=1)
+        assert all(len(o.keywords) >= 1 for o in ds)
+
+    def test_locations_inside_world(self):
+        ds = clustered_dataset(300, 20, seed=4)
+        for o in ds:
+            assert 0.0 <= o.location.x <= WORLD_SIZE
+            assert 0.0 <= o.location.y <= WORLD_SIZE
+
+    def test_determinism(self):
+        a = uniform_dataset(100, 20, seed=9)
+        b = uniform_dataset(100, 20, seed=9)
+        assert [(o.location, o.keywords) for o in a] == [
+            (o.location, o.keywords) for o in b
+        ]
+
+    def test_seed_changes_output(self):
+        a = uniform_dataset(100, 20, seed=9)
+        b = uniform_dataset(100, 20, seed=10)
+        assert [(o.location, o.keywords) for o in a] != [
+            (o.location, o.keywords) for o in b
+        ]
+
+    def test_mean_keywords_near_target(self):
+        ds = uniform_dataset(2000, 200, mean_keywords=4.0, seed=3)
+        mean = sum(len(o.keywords) for o in ds) / len(ds)
+        assert mean == pytest.approx(4.0, rel=0.15)
+
+    def test_keyword_skew_present(self):
+        ds = uniform_dataset(2000, 100, mean_keywords=3.0, seed=3)
+        ranked = ds.keywords_by_frequency()
+        freq = ds.keyword_frequencies()
+        assert freq[ranked[0]] > 4 * freq[ranked[-1]]
+
+
+class TestPaperProfiles:
+    def test_hotel_like_default_matches_published_count(self):
+        ds = hotel_like(scale=1.0, seed=0)
+        assert len(ds) == 20_790
+        assert ds.name == "hotel"
+
+    def test_hotel_like_scaled(self):
+        ds = hotel_like(scale=0.05, seed=0)
+        assert len(ds) == int(20_790 * 0.05)
+
+    def test_gn_like_scaled(self):
+        ds = gn_like(scale=0.001, seed=0)
+        assert len(ds) == int(1_868_821 * 0.001)
+        assert ds.name == "gn"
+
+    def test_web_like_has_dense_keywords(self):
+        ds = web_like(scale=0.002, seed=0)
+        stats = ds.statistics()
+        assert stats.avg_keywords_per_object > 15.0
+        assert ds.name == "web"
+
+    def test_minimum_sizes_enforced(self):
+        assert len(hotel_like(scale=1e-9)) == 100
+        assert len(gn_like(scale=1e-9)) == 1_000
+
+    def test_generate_profile_direct(self):
+        profile = GeneratorProfile("custom", 50, 10, 2.0, cluster_fraction=0.0)
+        ds = generate_profile(profile, seed=5)
+        assert len(ds) == 50
+        assert ds.name == "custom"

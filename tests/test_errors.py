@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CoSKQError,
+    DatasetFormatError,
+    InfeasibleQueryError,
+    InvalidParameterError,
+    UnknownKeywordError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_coskq_error(self):
+        for exc_type in (
+            UnknownKeywordError,
+            InfeasibleQueryError,
+            DatasetFormatError,
+            InvalidParameterError,
+        ):
+            assert issubclass(exc_type, CoSKQError)
+
+    def test_unknown_keyword_is_key_error(self):
+        assert issubclass(UnknownKeywordError, KeyError)
+
+    def test_invalid_parameter_is_value_error(self):
+        assert issubclass(InvalidParameterError, ValueError)
+
+
+class TestMessages:
+    def test_unknown_keyword_message(self):
+        err = UnknownKeywordError("pool")
+        assert err.keyword == "pool"
+        assert "pool" in str(err)
+
+    def test_infeasible_query_records_missing(self):
+        err = InfeasibleQueryError([3, 1, 2])
+        assert err.missing_keywords == frozenset({1, 2, 3})
+        assert "[1, 2, 3]" in str(err)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(CoSKQError):
+            raise InfeasibleQueryError([1])

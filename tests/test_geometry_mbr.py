@@ -1,0 +1,120 @@
+"""Unit and property tests for the MBR bounds used by the R-tree."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def rect_strategy():
+    return st.builds(
+        lambda x1, x2, y1, y2: MBR(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+        coords,
+        coords,
+        coords,
+        coords,
+    )
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            MBR(1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            MBR(0, 1, 0, 0)
+
+    def test_from_point(self):
+        r = MBR.from_point(Point(2, 3))
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (2, 3, 2, 3)
+        assert r.area() == 0.0
+
+    def test_from_points(self):
+        r = MBR.from_points([Point(1, 5), Point(-2, 0), Point(3, 2)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (-2, 0, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_union_all(self):
+        r = MBR.union_all([MBR(0, 0, 1, 1), MBR(2, -1, 3, 0.5)])
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0, -1, 3, 1)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.union_all([])
+
+
+class TestMeasures:
+    def test_width_height_area_margin(self):
+        r = MBR(0, 0, 4, 3)
+        assert r.width == 4 and r.height == 3
+        assert r.area() == 12
+        assert r.margin() == 7
+
+    def test_center(self):
+        assert MBR(0, 0, 4, 2).center() == Point(2, 1)
+
+    def test_enlargement(self):
+        base = MBR(0, 0, 1, 1)
+        assert base.enlargement(MBR(0, 0, 1, 1)) == 0.0
+        assert base.enlargement(MBR(1, 0, 2, 1)) == pytest.approx(1.0)
+
+
+class TestRelations:
+    def test_intersects_and_contains(self):
+        a = MBR(0, 0, 4, 4)
+        assert a.intersects(MBR(3, 3, 5, 5))
+        assert not a.intersects(MBR(5, 5, 6, 6))
+        assert a.contains(MBR(1, 1, 2, 2))
+        assert not a.contains(MBR(1, 1, 5, 2))
+
+    def test_touching_rectangles_intersect(self):
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 1, 2, 2))
+
+    def test_contains_point(self):
+        r = MBR(0, 0, 2, 2)
+        assert r.contains_point(Point(1, 1))
+        assert r.contains_point(Point(0, 2))  # boundary
+        assert not r.contains_point(Point(3, 1))
+
+
+class TestDistances:
+    def test_min_distance_inside_is_zero(self):
+        assert MBR(0, 0, 2, 2).min_distance(Point(1, 1)) == 0.0
+
+    def test_min_distance_axis_aligned(self):
+        assert MBR(0, 0, 2, 2).min_distance(Point(5, 1)) == pytest.approx(3.0)
+        assert MBR(0, 0, 2, 2).min_distance(Point(1, -4)) == pytest.approx(4.0)
+
+    def test_min_distance_corner(self):
+        assert MBR(0, 0, 2, 2).min_distance(Point(5, 6)) == pytest.approx(5.0)
+
+    def test_max_distance_known(self):
+        assert MBR(0, 0, 2, 2).max_distance(Point(0, 0)) == pytest.approx(
+            math.sqrt(8)
+        )
+
+    @given(rect_strategy(), points)
+    def test_min_le_max(self, rect, p):
+        assert rect.min_distance(p) <= rect.max_distance(p) + 1e-9
+
+    @given(rect_strategy(), points)
+    def test_bounds_hold_for_corners(self, rect, p):
+        lo = rect.min_distance(p)
+        hi = rect.max_distance(p)
+        for corner in rect.corners():
+            d = p.distance_to(corner)
+            assert lo - 1e-6 <= d <= hi + 1e-6
+
+    @given(rect_strategy(), points)
+    def test_bounds_hold_for_center(self, rect, p):
+        d = p.distance_to(rect.center())
+        assert rect.min_distance(p) - 1e-6 <= d <= rect.max_distance(p) + 1e-6

@@ -1,0 +1,120 @@
+"""Unit and property tests for the point/distance primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import (
+    Point,
+    centroid,
+    diameter,
+    distance,
+    distance_xy,
+    farthest_pair,
+    midpoint,
+    squared_distance,
+)
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_to_known_values(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance_matches_square(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(7, 8)
+        assert p.as_tuple() == (7, 8)
+        assert list(p) == [7, 8]
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+
+class TestFreeFunctions:
+    def test_distance_matches_method(self):
+        a, b = Point(0, 1), Point(1, 0)
+        assert distance(a, b) == pytest.approx(a.distance_to(b))
+
+    def test_distance_xy(self):
+        assert distance_xy(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert squared_distance(Point(0, 0), Point(2, 0)) == pytest.approx(4.0)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_centroid(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_diameter_of_fewer_than_two_points(self):
+        assert diameter([]) == 0.0
+        assert diameter([Point(5, 5)]) == 0.0
+
+    def test_diameter_known_value(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 2)]
+        assert diameter(pts) == pytest.approx(math.sqrt(5))
+
+    def test_farthest_pair_indices(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 2)]
+        i, j, d = farthest_pair(pts)
+        assert (i, j) == (1, 2)
+        assert d == pytest.approx(math.sqrt(5))
+
+    def test_farthest_pair_degenerate(self):
+        assert farthest_pair([Point(0, 0)]) == (0, 0, 0.0)
+
+
+class TestMetricProperties:
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    @given(points, points)
+    def test_non_negativity_and_identity(self, a, b):
+        d = distance(a, b)
+        assert d >= 0.0
+        if a == b:
+            assert d == 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-7
+
+    @given(st.lists(points, min_size=2, max_size=8))
+    def test_diameter_is_max_pairwise(self, pts):
+        expected = max(
+            distance(pts[i], pts[j])
+            for i in range(len(pts))
+            for j in range(i + 1, len(pts))
+        )
+        assert diameter(pts) == pytest.approx(expected)

@@ -1,0 +1,134 @@
+"""Tests for the plain R-tree: structure, range and NN correctness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.index.rtree import RTree
+
+coords = st.floats(0, 1000, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=0, max_size=120)
+
+
+def linear_range(entries, circle):
+    return sorted(
+        payload for p, payload in entries if circle.contains(p)
+    )
+
+
+def linear_nearest(entries, point, k):
+    ranked = sorted(
+        ((point.distance_to(p), payload) for p, payload in entries),
+        key=lambda t: (t[0], t[1]),
+    )
+    return ranked[:k]
+
+
+def build_entries(points):
+    return [(p, i) for i, p in enumerate(points)]
+
+
+class TestConstruction:
+    def test_min_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    def test_empty_tree(self):
+        tree: RTree[int] = RTree()
+        assert len(tree) == 0
+        assert tree.range_search(Circle(Point(0, 0), 10)) == []
+        assert tree.nearest(Point(0, 0)) == []
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_insert_counts(self):
+        tree: RTree[int] = RTree(max_entries=4)
+        for i in range(50):
+            tree.insert(Point(i, i % 7), i)
+        assert len(tree) == 50
+        tree.check_invariants()
+
+    def test_bulk_load_invariants(self):
+        rng = random.Random(0)
+        entries = build_entries(
+            [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
+        )
+        tree = RTree.bulk_load(entries, max_entries=8)
+        assert len(tree) == 300
+        tree.check_invariants()
+        assert sorted(p for _, p in tree.all_entries()) == sorted(
+            p for _, p in entries
+        )
+
+    def test_height_grows_with_size(self):
+        small = RTree.bulk_load(build_entries([Point(i, 0) for i in range(10)]), 4)
+        large = RTree.bulk_load(build_entries([Point(i, 0) for i in range(500)]), 4)
+        assert large.height() > small.height()
+
+
+class TestQueries:
+    def test_range_search_small(self):
+        entries = build_entries([Point(0, 0), Point(5, 5), Point(10, 10)])
+        tree = RTree.bulk_load(entries)
+        found = tree.range_search(Circle(Point(0, 0), 7.1))
+        assert sorted(found) == [0, 1]
+
+    def test_range_boundary_inclusive(self):
+        tree = RTree.bulk_load(build_entries([Point(3, 4)]))
+        assert tree.range_search(Circle(Point(0, 0), 5.0)) == [0]
+
+    def test_nearest_order(self):
+        entries = build_entries([Point(10, 0), Point(1, 0), Point(5, 0)])
+        tree = RTree.bulk_load(entries)
+        ranked = [payload for _, _, payload in tree.nearest_iter(Point(0, 0))]
+        assert ranked == [1, 2, 0]
+
+    def test_nearest_k(self):
+        entries = build_entries([Point(i, 0) for i in range(20)])
+        tree = RTree.bulk_load(entries)
+        got = tree.nearest(Point(0, 0), k=3)
+        assert [p for _, p in got] == [0, 1, 2]
+
+    @given(point_lists, st.builds(Point, coords, coords), st.floats(0, 500))
+    @settings(max_examples=30)
+    def test_range_matches_linear_scan(self, points, center, radius):
+        entries = build_entries(points)
+        tree = RTree.bulk_load(entries, max_entries=5)
+        circle = Circle(center, radius)
+        assert sorted(tree.range_search(circle)) == linear_range(entries, circle)
+
+    @given(point_lists, st.builds(Point, coords, coords))
+    @settings(max_examples=30)
+    def test_nearest_matches_linear_scan(self, points, query):
+        entries = build_entries(points)
+        tree = RTree.bulk_load(entries, max_entries=5)
+        expected = linear_nearest(entries, query, 5)
+        got = tree.nearest(query, k=5)
+        assert [round(d, 9) for d, _ in got] == [round(d, 9) for d, _ in expected]
+
+    @given(point_lists)
+    @settings(max_examples=20)
+    def test_insert_equals_bulk_load_contents(self, points):
+        entries = build_entries(points)
+        inserted: RTree[int] = RTree(max_entries=5)
+        for p, payload in entries:
+            inserted.insert(p, payload)
+        inserted.check_invariants()
+        bulk = RTree.bulk_load(entries, max_entries=5)
+        bulk.check_invariants()
+        assert sorted(x for _, x in inserted.all_entries()) == sorted(
+            x for _, x in bulk.all_entries()
+        )
+
+    @given(point_lists, st.builds(Point, coords, coords))
+    @settings(max_examples=20)
+    def test_nearest_iter_is_sorted(self, points, query):
+        tree = RTree.bulk_load(build_entries(points), max_entries=5)
+        distances = [d for d, _, _ in tree.nearest_iter(query)]
+        assert distances == sorted(distances)

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import (
+    ALGORITHM_NAMES,
+    Dataset,
+    DiaAppro,
+    DiaExact,
+    MaxSumAppro,
+    MaxSumExact,
+    Query,
+    SearchContext,
+    cost_by_name,
+    generate_queries,
+    gn_like,
+    make_algorithm,
+    scale_dataset,
+)
+
+
+class TestEndToEnd:
+    def test_full_pipeline_on_generated_data(self):
+        # generate → index → query → validate, across all four paper
+        # algorithms, on a mid-sized clustered dataset.
+        dataset = gn_like(scale=0.0015, seed=5)  # ~2.8k objects
+        context = SearchContext(dataset)
+        queries = generate_queries(dataset, 5, 5, seed=6)
+        for query in queries:
+            exact = MaxSumExact(context).solve(query)
+            appro = MaxSumAppro(context).solve(query)
+            dia_exact = DiaExact(context).solve(query)
+            dia_appro = DiaAppro(context).solve(query)
+            for result in (exact, appro, dia_exact, dia_appro):
+                assert result.is_feasible_for(query)
+                assert len(result) <= query.size
+            assert exact.cost <= appro.cost + 1e-9
+            assert dia_exact.cost <= dia_appro.cost + 1e-9
+            # Dia of a set is never above its MaxSum (max ≤ sum of the
+            # unweighted components; with the 0.5-weighted MaxSum this
+            # reads max(a, b) ≥ (a + b) / 2).
+            assert dia_exact.cost <= 2.0 * exact.cost + 1e-9
+
+    def test_pipeline_survives_dataset_round_trip(self, tmp_path):
+        dataset = gn_like(scale=0.001, seed=9)
+        path = tmp_path / "gn.tsv"
+        dataset.save(path)
+        reloaded = Dataset.load(path)
+        # Keyword ids permute across a reload, so pose the *same* query
+        # by words against both datasets and compare optimal costs.
+        words = [
+            dataset.vocabulary.word_of(k)
+            for k in dataset.keywords_by_frequency()[:4]
+        ]
+        c1, c2 = SearchContext(dataset), SearchContext(reloaded)
+        for x, y in ((100.0, 100.0), (500.0, 500.0), (900.0, 300.0)):
+            a = Query.from_words(x, y, words, dataset.vocabulary)
+            b = Query.from_words(x, y, words, reloaded.vocabulary)
+            ra = MaxSumExact(c1).solve(a)
+            rb = MaxSumExact(c2).solve(b)
+            assert ra.cost == pytest.approx(rb.cost, rel=1e-9)
+
+    def test_scaled_dataset_still_queryable(self):
+        base = gn_like(scale=0.0008, seed=11)
+        grown = scale_dataset(base, 2 * len(base), seed=12)
+        context = SearchContext(grown)
+        for query in generate_queries(grown, 4, 3, seed=13):
+            result = MaxSumAppro(context).solve(query)
+            assert result.is_feasible_for(query)
+
+    def test_growing_dataset_never_increases_optimal_cost(self):
+        # Adding objects can only add candidate sets, so the optimum can
+        # only improve (the original sets all still exist).
+        base = gn_like(scale=0.0008, seed=21)
+        grown = scale_dataset(base, 2 * len(base), seed=22)
+        queries = generate_queries(base, 4, 3, seed=23)
+        small = SearchContext(base)
+        large = SearchContext(grown)
+        for query in queries:
+            cost_small = MaxSumExact(small).solve(query).cost
+            cost_large = MaxSumExact(large).solve(query).cost
+            assert cost_large <= cost_small + 1e-9
+
+    def test_every_registered_algorithm_end_to_end(self):
+        dataset = gn_like(scale=0.0008, seed=31)
+        context = SearchContext(dataset)
+        query = generate_queries(dataset, 3, 1, seed=32)[0]
+        exact_costs = {}
+        for name in ALGORITHM_NAMES:
+            algorithm = make_algorithm(name, context)
+            result = algorithm.solve(query)
+            assert result.is_feasible_for(query), name
+            if algorithm.exact:
+                exact_costs.setdefault(algorithm.cost.name, set()).add(
+                    round(result.cost, 6)
+                )
+        # All exact algorithms configured with the same cost agree.
+        for cost_name, costs in exact_costs.items():
+            assert len(costs) == 1, (cost_name, costs)
+
+    def test_query_built_from_words(self):
+        dataset = gn_like(scale=0.0008, seed=41)
+        context = SearchContext(dataset)
+        frequent = dataset.keywords_by_frequency()[:3]
+        words = [dataset.vocabulary.word_of(k) for k in frequent]
+        query = Query.from_words(500, 500, words, dataset.vocabulary)
+        result = MaxSumExact(context).solve(query)
+        covered_words = {
+            dataset.vocabulary.word_of(k) for k in result.covered_keywords()
+        }
+        assert set(words) <= covered_words
+
+    def test_cost_override_changes_optimum_shape(self):
+        # Sum ignores pairwise spread, so its optimal set can be more
+        # scattered but never totals more distance than the MaxSum set.
+        dataset = gn_like(scale=0.0008, seed=51)
+        context = SearchContext(dataset)
+        sum_cost = cost_by_name("sum")
+        for query in generate_queries(dataset, 4, 3, seed=52):
+            sum_best = make_algorithm("sum-exact", context).solve(query)
+            maxsum_best = MaxSumExact(context).solve(query)
+            total = sum(
+                query.location.distance_to(o.location) for o in maxsum_best.objects
+            )
+            assert sum_best.cost <= total + 1e-9
+            assert sum_best.cost == pytest.approx(
+                sum_cost.evaluate(query, sum_best.objects)
+            )

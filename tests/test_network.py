@@ -1,0 +1,240 @@
+"""Tests for the road-network extension."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.functions import DiaCost, MaxSumCost, MinMaxCost, SumCost
+from repro.errors import InfeasibleQueryError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.model.objects import SpatialObject
+from repro.model.query import Query
+from repro.model.vocabulary import Vocabulary
+from repro.network.algorithms import (
+    NetworkBnBExact,
+    NetworkContext,
+    NetworkGreedyAppro,
+    NetworkNNSetAlgorithm,
+)
+from repro.network.dataset import NetworkDataset, random_network_dataset
+from repro.network.graph import RoadNetwork, grid_network
+
+
+def line_network(n=5, spacing=1.0):
+    network = RoadNetwork()
+    for i in range(n):
+        network.add_node(i, Point(i * spacing, 0.0))
+    for i in range(n - 1):
+        network.add_edge(i, i + 1)
+    return network
+
+
+class TestRoadNetwork:
+    def test_add_node_twice_rejected(self):
+        network = line_network()
+        with pytest.raises(InvalidParameterError):
+            network.add_node(0, Point(0, 0))
+
+    def test_edge_validation(self):
+        network = line_network()
+        with pytest.raises(InvalidParameterError):
+            network.add_edge(0, 99)
+        with pytest.raises(InvalidParameterError):
+            network.add_edge(0, 0)
+        with pytest.raises(InvalidParameterError):
+            network.add_edge(0, 2, weight=-1.0)
+
+    def test_default_weight_is_euclidean(self):
+        network = line_network()
+        assert network.distance(0, 1) == pytest.approx(1.0)
+
+    def test_line_distances(self):
+        network = line_network()
+        assert network.distance(0, 4) == pytest.approx(4.0)
+        assert network.distance(4, 0) == pytest.approx(4.0)
+
+    def test_custom_weight_beats_geometry(self):
+        network = line_network()
+        network.add_edge(0, 4, weight=0.5)  # a motorway
+        assert network.distance(0, 4) == pytest.approx(0.5)
+        assert network.distance(0, 3) == pytest.approx(1.5)
+
+    def test_disconnected_is_inf(self):
+        network = RoadNetwork()
+        network.add_node(0, Point(0, 0))
+        network.add_node(1, Point(1, 0))
+        assert math.isinf(network.distance(0, 1))
+        assert not network.is_connected()
+
+    def test_nearest_node(self):
+        network = line_network()
+        assert network.nearest_node(Point(2.2, 0.5)) == 2
+
+    def test_expansion_order(self):
+        network = line_network()
+        order = [node for _, node in network.expansion_from(2)]
+        assert order[0] == 2
+        distances = [d for d, _ in network.expansion_from(2)]
+        assert distances == sorted(distances)
+
+    def test_cache_invalidated_on_new_edge(self):
+        network = line_network()
+        assert network.distance(0, 4) == pytest.approx(4.0)
+        network.add_edge(0, 4, weight=1.0)
+        assert network.distance(0, 4) == pytest.approx(1.0)
+
+
+class TestGridNetwork:
+    def test_connected_and_sized(self):
+        network = grid_network(6, 7, seed=3)
+        assert len(network) == 42
+        assert network.is_connected()
+
+    def test_determinism(self):
+        a = grid_network(5, 5, seed=1)
+        b = grid_network(5, 5, seed=1)
+        assert a.edge_count() == b.edge_count()
+        assert all(a.location(n) == b.location(n) for n in a.nodes())
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10)
+    def test_always_connected(self, seed):
+        assert grid_network(4, 5, seed=seed).is_connected()
+
+    def test_network_distance_at_least_euclidean(self):
+        network = grid_network(6, 6, seed=2)
+        nodes = sorted(network.nodes())
+        for a, b in zip(nodes[:10], nodes[10:20]):
+            euclid = network.location(a).distance_to(network.location(b))
+            assert network.distance(a, b) >= euclid - 1e-9
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            grid_network(0, 5)
+
+
+def tiny_network_dataset():
+    """Line network with hand-placed objects (keyword ids 0, 1, 2)."""
+    network = line_network(6)
+    vocabulary = Vocabulary(["a", "b", "c"])
+    objects = [
+        SpatialObject(0, network.location(1), frozenset({0})),
+        SpatialObject(1, network.location(2), frozenset({1})),
+        SpatialObject(2, network.location(5), frozenset({0, 1, 2})),
+        SpatialObject(3, network.location(3), frozenset({2})),
+    ]
+    node_of = {0: 1, 1: 2, 2: 5, 3: 3}
+    return NetworkDataset(network, objects, node_of, vocabulary)
+
+
+class TestNetworkAlgorithms:
+    def test_nn_set(self):
+        dataset = tiny_network_dataset()
+        context = NetworkContext(dataset)
+        query = Query.create(0.0, 0.0, [0, 1, 2])  # snaps to node 0
+        result = NetworkNNSetAlgorithm(context, MaxSumCost()).solve(query)
+        assert result.is_feasible_for(query)
+        # Nearest carriers from node 0: a@1, b@2, c@3.
+        assert result.object_ids == (0, 1, 3)
+
+    def test_exact_beats_or_ties_baselines(self):
+        dataset = random_network_dataset(rows=8, cols=8, num_objects=80, seed=5)
+        context = NetworkContext(dataset)
+        query = Query.create(40.0, 40.0, list(range(3)))
+        exact = NetworkBnBExact(context, MaxSumCost()).solve(query)
+        greedy = NetworkGreedyAppro(context, MaxSumCost()).solve(query)
+        nn = NetworkNNSetAlgorithm(context, MaxSumCost()).solve(query)
+        assert exact.cost <= greedy.cost + 1e-9
+        assert exact.cost <= nn.cost + 1e-9
+        for result in (exact, greedy, nn):
+            assert result.is_feasible_for(query)
+
+    def test_exact_matches_exhaustive_on_tiny(self):
+        from repro.algorithms.cover import iter_covers
+
+        dataset = tiny_network_dataset()
+        context = NetworkContext(dataset)
+        query = Query.create(0.0, 0.0, [0, 1, 2])
+        query_node = context.query_node(query)
+        best = min(
+            context.evaluate(MaxSumCost(), query_node, cover)
+            for cover in iter_covers(query.keywords, dataset.objects)
+        )
+        exact = NetworkBnBExact(context, MaxSumCost()).solve(query)
+        assert exact.cost == pytest.approx(best)
+
+    def test_network_detour_changes_answer(self):
+        # Euclidean says node 5's one-stop object is close when we bend
+        # the line into a U; network distance knows it is far.
+        network = RoadNetwork()
+        coords = [(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]
+        for i, (x, y) in enumerate(coords):
+            network.add_node(i, Point(float(x), float(y)))
+        for i in range(5):
+            network.add_edge(i, i + 1)  # a U-shaped street
+        vocabulary = Vocabulary(["a", "b"])
+        objects = [
+            SpatialObject(0, network.location(1), frozenset({0})),
+            SpatialObject(1, network.location(2), frozenset({1})),
+            SpatialObject(2, network.location(5), frozenset({0, 1})),
+        ]
+        dataset = NetworkDataset(network, objects, {0: 1, 1: 2, 2: 5}, vocabulary)
+        context = NetworkContext(dataset)
+        query = Query.create(0.0, 0.0, [0, 1])
+        # Euclidean: object 2 is 1.0 away (best singleton).  Network: it
+        # is 5 hops away; the pair {0, 1} wins.
+        result = NetworkBnBExact(context, MaxSumCost()).solve(query)
+        assert set(result.object_ids) == {0, 1}
+
+    def test_min_cost_rejected_by_exact(self):
+        dataset = tiny_network_dataset()
+        context = NetworkContext(dataset)
+        with pytest.raises(InvalidParameterError):
+            NetworkBnBExact(context, MinMaxCost()).solve(
+                Query.create(0, 0, [0, 1])
+            )
+
+    def test_infeasible_query(self):
+        dataset = tiny_network_dataset()
+        context = NetworkContext(dataset)
+        with pytest.raises(InfeasibleQueryError):
+            NetworkNNSetAlgorithm(context, MaxSumCost()).solve(
+                Query.create(0, 0, [0, 99])
+            )
+
+    @pytest.mark.parametrize("cost", [MaxSumCost(), DiaCost(), SumCost()])
+    def test_costs_all_supported(self, cost):
+        dataset = random_network_dataset(rows=6, cols=6, num_objects=60, seed=9)
+        context = NetworkContext(dataset)
+        query = Query.create(25.0, 25.0, list(range(3)))
+        exact = NetworkBnBExact(context, cost).solve(query)
+        greedy = NetworkGreedyAppro(context, cost).solve(query)
+        assert exact.cost <= greedy.cost + 1e-9
+
+
+class TestNetworkDataset:
+    def test_random_dataset_shape(self):
+        dataset = random_network_dataset(rows=5, cols=5, num_objects=40, seed=1)
+        assert len(dataset) == 40
+        assert dataset.network.is_connected()
+        for obj in dataset:
+            node = dataset.node_of[obj.oid]
+            assert obj.location == dataset.network.location(node)
+
+    def test_object_without_node_rejected(self):
+        network = line_network()
+        vocabulary = Vocabulary(["a"])
+        obj = SpatialObject(0, Point(0, 0), frozenset({0}))
+        with pytest.raises(InvalidParameterError):
+            NetworkDataset(network, [obj], {}, vocabulary)
+
+    def test_euclidean_projection(self):
+        dataset = tiny_network_dataset()
+        euclidean = dataset.as_euclidean_dataset()
+        assert len(euclidean) == len(dataset)
+
+    def test_missing_keywords(self):
+        dataset = tiny_network_dataset()
+        assert dataset.missing_keywords([0, 7]) == frozenset({7})

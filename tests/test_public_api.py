@@ -1,0 +1,80 @@
+"""The public API surface: __all__ consistency and import hygiene."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.model",
+    "repro.index",
+    "repro.cost",
+    "repro.algorithms",
+    "repro.data",
+    "repro.bench",
+    "repro.network",
+    "repro.utils",
+]
+
+
+class TestAllConsistency:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), name
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), "%s.%s missing" % (name, symbol)
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_no_duplicate_exports(self, name):
+        module = importlib.import_module(name)
+        assert len(module.__all__) == len(set(module.__all__)), name
+
+    def test_every_submodule_importable(self):
+        failures = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            try:
+                importlib.import_module(info.name)
+            except Exception as exc:  # pragma: no cover - report which one
+                failures.append((info.name, exc))
+        assert not failures, failures
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_packages_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), name
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for symbol in repro.__all__:
+            obj = getattr(repro, symbol)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(symbol)
+        assert not undocumented, undocumented
+
+
+class TestTopLevelConvenience:
+    def test_headline_workflow_names_present(self):
+        for symbol in (
+            "Dataset",
+            "Query",
+            "SearchContext",
+            "MaxSumExact",
+            "MaxSumAppro",
+            "DiaExact",
+            "DiaAppro",
+            "hotel_like",
+            "generate_queries",
+        ):
+            assert symbol in repro.__all__

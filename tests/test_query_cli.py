@@ -1,0 +1,85 @@
+"""Tests for the coskq-query command line tool."""
+
+import pytest
+
+from repro.data.generators import uniform_dataset
+from repro.tools.query_cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "objects.tsv"
+    uniform_dataset(200, 20, mean_keywords=3.0, seed=3).save(path)
+    return str(path)
+
+
+def frequent_words(path, count=3):
+    from repro.model.dataset import Dataset
+
+    dataset = Dataset.load(path)
+    return [
+        dataset.vocabulary.word_of(k)
+        for k in dataset.keywords_by_frequency()[:count]
+    ]
+
+
+class TestQueryCli:
+    def test_basic_query(self, dataset_file, capsys):
+        words = frequent_words(dataset_file)
+        code = main([dataset_file, "--at", "500", "500", "--keywords", *words])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maxsum-exact" in out
+        assert "cost" in out
+        for word in words:
+            assert word in out
+
+    def test_algorithm_and_cost_override(self, dataset_file, capsys):
+        words = frequent_words(dataset_file, 2)
+        code = main(
+            [
+                dataset_file,
+                "--at", "100", "100",
+                "--keywords", *words,
+                "--algorithm", "cao-exact",
+                "--cost", "dia",
+            ]
+        )
+        assert code == 0
+        assert "cao-exact" in capsys.readouterr().out
+
+    def test_topk_mode(self, dataset_file, capsys):
+        words = frequent_words(dataset_file, 2)
+        code = main(
+            [dataset_file, "--at", "500", "500", "--keywords", *words, "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1 " in out and "#2 " in out
+
+    def test_unknown_keyword_is_clean_error(self, dataset_file, capsys):
+        code = main(
+            [dataset_file, "--at", "0", "0", "--keywords", "definitely-not-a-word"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, capsys):
+        code = main(["/nope/missing.tsv", "--at", "0", "0", "--keywords", "x"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_demo_and_file_are_exclusive(self, dataset_file, capsys):
+        code = main(
+            [dataset_file, "--demo", "--at", "0", "0", "--keywords", "x"]
+        )
+        assert code == 2
+
+    def test_neither_demo_nor_file(self, capsys):
+        code = main(["--at", "0", "0", "--keywords", "x"])
+        assert code == 2
+
+    def test_demo_mode(self, capsys):
+        code = main(["--demo", "--at", "500", "500", "--keywords", "w0000", "w0001"])
+        assert code == 0
+        assert "cost" in capsys.readouterr().out
