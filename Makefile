@@ -1,12 +1,20 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test bench bench-reports figures full-experiments clean
+.PHONY: install test lint check bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Repo-specific static analysis (rules R1-R5; docs/STATIC_ANALYSIS.md).
+lint:
+	PYTHONPATH=src python -m repro.analysis --strict
+
+# Everything a PR must keep green: the linter plus the tier-1 suite.
+check: lint
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -21,6 +21,7 @@ from repro.errors import InfeasibleQueryError
 from repro.geometry.circle import Circle
 from repro.index.inverted import InvertedIndex
 from repro.index.irtree import IRTree
+from repro.index.protocol import SpatialTextIndex
 from repro.model.dataset import Dataset
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
@@ -45,7 +46,7 @@ class NNSet:
     d_f: float
 
     @staticmethod
-    def compute(index: "IRTree", query: Query) -> "NNSet":
+    def compute(index: SpatialTextIndex, query: Query) -> "NNSet":
         by_keyword = index.nearest_neighbor_set(query)
         seen: Dict[int, SpatialObject] = {}
         d_f = 0.0
@@ -64,17 +65,17 @@ class SearchContext:
         self,
         dataset: Dataset,
         max_entries: int = 16,
-        index_cls: Type = IRTree,
+        index_cls: Type[SpatialTextIndex] = IRTree,
     ):
         self.dataset = dataset
         self.max_entries = max_entries
         self._index_cls = index_cls
-        self._index = None
+        self._index: Optional[SpatialTextIndex] = None
         self._inverted: Optional[InvertedIndex] = None
 
     @property
-    def index(self):
-        """The IR-tree (or drop-in replacement) over the dataset."""
+    def index(self) -> SpatialTextIndex:
+        """The IR-tree (or any :class:`SpatialTextIndex`) over the dataset."""
         if self._index is None:
             self._index = self._index_cls.build(
                 self.dataset, max_entries=self.max_entries
@@ -114,6 +115,17 @@ class CoSKQAlgorithm(ABC):
 
     #: Whether the algorithm guarantees the optimal cost.
     exact: bool = False
+
+    #: Proven approximation ratio (None when no published bound exists).
+    #: The runtime contract layer (:mod:`repro.analysis.contracts`)
+    #: cross-checks results against ``ratio × optimum`` on instances
+    #: small enough for the brute-force oracle.
+    ratio: Optional[float] = None
+
+    #: Name of the cost function :attr:`ratio` is proven for; the bound
+    #: only holds when the algorithm runs that cost (at its paper-default
+    #: weighting).
+    ratio_cost: Optional[str] = None
 
     def __init__(self, context: SearchContext, cost: CostFunction):
         self.context = context

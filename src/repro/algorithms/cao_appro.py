@@ -32,6 +32,8 @@ class CaoAppro1(NNSetAlgorithm):
     """Cao et al.'s first approximation: ``N(q)`` (3-approx for MaxSum)."""
 
     name = "cao-appro1"
+    ratio = 3.0
+    ratio_cost = "maxsum"
 
 
 class CaoAppro2(CoSKQAlgorithm):
@@ -39,6 +41,8 @@ class CaoAppro2(CoSKQAlgorithm):
 
     name = "cao-appro2"
     exact = False
+    ratio = 2.0
+    ratio_cost = "maxsum"
 
     def solve(self, query: Query) -> CoSKQResult:
         self._reset_counters()

@@ -26,6 +26,8 @@ class DiaAppro(OwnerRingApproximation):
     """sqrt(3)-approximation for CoSKQ with the Dia cost."""
 
     name = "dia-appro"
+    ratio = DIA_APPRO_RATIO
+    ratio_cost = "dia"
 
     def __init__(self, context: SearchContext, cost: DiaCost | None = None):
         super().__init__(context, cost if cost is not None else DiaCost())

@@ -26,6 +26,8 @@ class MaxSumAppro(OwnerRingApproximation):
     """1.375-approximation for CoSKQ with the MaxSum cost."""
 
     name = "maxsum-appro"
+    ratio = MAXSUM_APPRO_RATIO
+    ratio_cost = "maxsum"
 
     def __init__(self, context: SearchContext, cost: MaxSumCost | None = None):
         super().__init__(context, cost if cost is not None else MaxSumCost())

@@ -25,6 +25,8 @@ class NNSetAlgorithm(CoSKQAlgorithm):
 
     name = "nn-set"
     exact = False
+    ratio = 3.0
+    ratio_cost = "maxsum"
 
     def solve(self, query: Query) -> CoSKQResult:
         self._reset_counters()

@@ -54,7 +54,7 @@ class TopKCoSKQ(CoSKQAlgorithm):
         super().__init__(context, cost)
         self.k = k
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(self, query: Query) -> CoSKQResult:  # repro: noqa(R5) — solve_topk resets
         """The best set; use :meth:`solve_topk` for the full ranking."""
         return self.solve_topk(query)[0]
 

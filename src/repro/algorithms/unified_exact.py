@@ -51,7 +51,7 @@ class UnifiedExact(CoSKQAlgorithm):
         """The solver this cost was dispatched to (for introspection)."""
         return self._delegate
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(self, query: Query) -> CoSKQResult:  # repro: noqa(R5) — delegate resets
         inner = self._delegate.solve(query)
         self.counters = dict(self._delegate.counters)
         return CoSKQResult.of(

@@ -1,0 +1,29 @@
+"""Static analysis and runtime contracts for the CoSKQ reproduction.
+
+Two complementary correctness nets over the same invariants:
+
+- the **static pass** (``python -m repro.analysis`` / ``coskq-lint``)
+  walks the source with the stdlib :mod:`ast` module and enforces the
+  repo-specific rules R1–R5 — algorithm-family conformance, determinism,
+  epsilon-safe float comparison, API hygiene, and counter resets;
+- the **runtime contract layer** (:mod:`repro.analysis.contracts`,
+  opt-in via ``REPRO_CHECK_CONTRACTS=1``) re-validates every ``solve()``
+  result: feasibility, cost recomputation, and exactness/ratio bounds
+  against the brute-force oracle on small instances.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+suppression syntax (``# repro: noqa(RX)``).
+"""
+
+from repro.analysis.config import AnalysisConfig, find_pyproject
+from repro.analysis.engine import AnalysisReport, run_analysis
+from repro.analysis.rules import RULE_SUMMARIES, Violation
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "RULE_SUMMARIES",
+    "Violation",
+    "find_pyproject",
+    "run_analysis",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the static-analysis pass."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``coskq-lint``.
+
+Exit status is 0 when the tree is clean and 1 when any violation
+survives suppression (with ``--strict``, unused suppression comments
+count too), so the command slots directly into CI and ``make lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import AnalysisConfig, find_pyproject
+from repro.analysis.engine import run_analysis
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+__all__ = ["main", "default_targets"]
+
+
+def default_targets() -> List[Path]:
+    """``src/repro`` (or ``repro``) under the current directory."""
+    for candidate in (Path("src/repro"), Path("repro")):
+        if candidate.is_dir():
+            return [candidate]
+    return [Path(".")]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coskq-lint",
+        description="Repo-specific static analysis for the CoSKQ reproduction "
+        "(rules R1-R5; see docs/STATIC_ANALYSIS.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on suppression comments that suppress nothing",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="explicit pyproject.toml to read [tool.repro.analysis] from",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    targets = list(args.paths) or default_targets()
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        print(
+            "coskq-lint: no such path: %s" % ", ".join(str(m) for m in missing),
+            file=sys.stderr,
+        )
+        return 2
+    pyproject = args.config if args.config is not None else find_pyproject(targets[0])
+    config = AnalysisConfig.load(pyproject)
+    report = run_analysis(targets, config)
+    rendered = (
+        render_json(report, strict=args.strict)
+        if args.json
+        else render_text(report, strict=args.strict)
+    )
+    print(rendered)
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.cost.base import Combiner, CostFunction, QueryAggregate
 from repro.errors import InvalidParameterError
+from repro.utils.floatcmp import float_eq
 
 __all__ = [
     "MaxSumCost",
@@ -43,7 +44,7 @@ class _WeightedAdd(CostFunction):
         self.alpha = alpha
 
     def combine(self, query_component: float, pairwise_component: float) -> float:
-        if self.alpha == 1.0:
+        if float_eq(self.alpha, 1.0):
             return query_component
         # The paper fixes alpha = 0.5 and drops the common factor, which
         # preserves the ranking of candidate sets; we keep the weighted

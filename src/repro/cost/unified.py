@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.cost.base import Combiner, CostFunction, QueryAggregate
 from repro.errors import InvalidParameterError
+from repro.utils.floatcmp import float_eq
 
 __all__ = ["UnifiedCost", "INTERESTING_SETTINGS"]
 
@@ -45,7 +46,7 @@ class UnifiedCost(CostFunction):
         )
 
     def combine(self, query_component: float, pairwise_component: float) -> float:
-        if self.alpha == 1.0:
+        if float_eq(self.alpha, 1.0):
             # The pairwise term carries weight 0; with φ2 = max the query
             # term still dominates a zero-weighted pairwise term.
             return self.combiner.apply(query_component, 0.0)
@@ -65,7 +66,7 @@ class UnifiedCost(CostFunction):
         convention, so equivalence here is *numerical equality* for
         matching α, not merely equal ranking.
         """
-        if self.alpha == 1.0:
+        if float_eq(self.alpha, 1.0):
             return {
                 QueryAggregate.SUM: "sum",
                 QueryAggregate.MAX: "max",
@@ -80,7 +81,7 @@ class UnifiedCost(CostFunction):
         # φ2 = max with α = 0.5: max{D_q, D_p} scaled by 0.5 — same
         # ranking as the named max-combined costs; numerically equal to
         # the named cost only up to the 0.5 factor, except where noted.
-        if self.alpha == 0.5:
+        if float_eq(self.alpha, 0.5):
             return {
                 QueryAggregate.SUM: "summax2",
                 QueryAggregate.MAX: "dia",

@@ -13,6 +13,7 @@ __all__ = [
     "UnknownKeywordError",
     "DatasetFormatError",
     "InvalidParameterError",
+    "ContractViolationError",
 ]
 
 
@@ -52,3 +53,13 @@ class DatasetFormatError(CoSKQError):
 
 class InvalidParameterError(CoSKQError, ValueError):
     """An algorithm or cost function received an out-of-domain parameter."""
+
+
+class ContractViolationError(CoSKQError, AssertionError):
+    """An algorithm result broke a checked correctness contract.
+
+    Raised by :mod:`repro.analysis.contracts` (opt-in via the
+    ``REPRO_CHECK_CONTRACTS=1`` environment variable) when a ``solve()``
+    returns an infeasible set, misreports its cost, or violates its
+    exactness/approximation-ratio guarantee against the oracle.
+    """

@@ -21,6 +21,7 @@ from typing import Sequence
 
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
+from repro.utils.floatcmp import float_leq
 
 __all__ = ["Circle", "Lens", "Ring"]
 
@@ -48,7 +49,7 @@ class Circle:
     def contains_circle(self, other: "Circle") -> bool:
         """Whether ``other`` lies entirely inside this disk."""
         d = self.center.distance_to(other.center)
-        return d + other.radius <= self.radius + 1e-12
+        return float_leq(d + other.radius, self.radius, 1e-12)
 
     def intersects(self, other: "Circle") -> bool:
         """Whether the two closed disks share at least one point."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.geometry.point import Point
+from repro.utils.floatcmp import is_zero
 
 __all__ = ["MBR"]
 
@@ -144,9 +145,9 @@ class MBR:
             dy = self.min_y - p.y
         elif p.y > self.max_y:
             dy = p.y - self.max_y
-        if dx == 0.0:
+        if is_zero(dx):
             return dy
-        if dy == 0.0:
+        if is_zero(dy):
             return dx
         return math.hypot(dx, dy)
 

@@ -3,9 +3,11 @@
 from repro.index.inverted import InvertedIndex
 from repro.index.irtree import IRTree, IRTreeNode
 from repro.index.neighbors import LinearScanIndex
+from repro.index.protocol import SpatialTextIndex
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree, RTreeNode
 
 __all__ = [
+    "SpatialTextIndex",
     "InvertedIndex",
     "RTree",
     "RTreeNode",

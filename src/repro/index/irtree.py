@@ -23,7 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import InfeasibleQueryError
 from repro.geometry.circle import Circle
@@ -173,7 +173,8 @@ class IRTree:
         if self.root.mbr is None:
             return
         counter = itertools.count()
-        heap: List[Tuple[float, int, bool, object]] = []
+        # Heap entries are either unopened nodes or materialized objects.
+        heap: List[Tuple[float, int, bool, Union[IRTreeNode, SpatialObject]]] = []
         if not self.root.keywords.isdisjoint(keywords):
             heapq.heappush(
                 heap,

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.geometry.circle import Circle
 from repro.geometry.mbr import MBR
@@ -188,7 +188,10 @@ class RTree(Generic[T]):
         if self.root.mbr is None:
             return
         counter = itertools.count()
-        heap: List[Tuple[float, int, bool, Any]] = []
+        # Heap entries are either unopened nodes or materialized entries.
+        heap: List[
+            Tuple[float, int, bool, Union["RTreeNode[T]", Tuple[Point, T]]]
+        ] = []
         heapq.heappush(
             heap, (self.root.mbr.min_distance(point), next(counter), False, self.root)
         )

@@ -103,6 +103,9 @@ class _NetworkAlgorithm:
         if missing:
             raise InfeasibleQueryError(missing)
 
+    def _reset_counters(self) -> None:
+        self.counters = {}
+
     def _result(self, objects, cost_value: float) -> CoSKQResult:
         return CoSKQResult.of(objects, cost_value, self.name, counters=dict(self.counters))
 
@@ -132,7 +135,7 @@ class NetworkNNSetAlgorithm(_NetworkAlgorithm):
     name = "network-nn-set"
 
     def solve(self, query: Query) -> CoSKQResult:
-        self.counters = {}
+        self._reset_counters()
         self._check_feasible(query)
         query_node = self.context.query_node(query)
         objects, _ = self._nn_set(query, query_node)
@@ -145,7 +148,7 @@ class NetworkGreedyAppro(_NetworkAlgorithm):
     name = "network-greedy"
 
     def solve(self, query: Query) -> CoSKQResult:
-        self.counters = {}
+        self._reset_counters()
         self._check_feasible(query)
         query_node = self.context.query_node(query)
         best, d_f = self._nn_set(query, query_node)
@@ -211,7 +214,7 @@ class NetworkBnBExact(_NetworkAlgorithm):
     max_expansions = 500_000
 
     def solve(self, query: Query) -> CoSKQResult:
-        self.counters = {}
+        self._reset_counters()
         self._check_feasible(query)
         if self.cost.query_aggregate is QueryAggregate.MIN:
             raise InvalidParameterError(

@@ -14,8 +14,15 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.algorithms.base import SearchContext
+from repro.analysis import contracts
 from repro.data.generators import clustered_dataset, uniform_dataset
 from repro.data.queries import generate_queries
+
+# Opt-in runtime contract checking: REPRO_CHECK_CONTRACTS=1 wraps every
+# solve() with feasibility/cost/optimality post-conditions, so the whole
+# suite doubles as a conformance harness (see docs/STATIC_ANALYSIS.md).
+if contracts.enabled():
+    contracts.install()
 
 settings.register_profile(
     "repro",

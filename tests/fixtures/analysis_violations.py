@@ -1,0 +1,52 @@
+# A module that deliberately violates every static-analysis rule.
+#
+# tests/test_static_analysis.py lints this file with a permissive config
+# (no per-rule path scoping) and asserts that every expect-marker comment
+# in here is reported with exactly that rule id on exactly that line.
+# The module is never imported (names are unresolved on purpose); it only
+# has to parse.  The missing `__all__` is itself one of the expected R4
+# hits — the test pins it to line 1, where the engine reports it.
+
+import random
+import time
+from datetime import datetime  # expect: R2
+
+
+class UnregisteredAlgo(CoSKQAlgorithm):  # expect: R1, R1, R1
+    # No `name`, no `exact`, and not in the registry: three R1 hits.
+
+    def solve(self, query):  # expect: R5
+        started = time.perf_counter()  # expect: R2
+        jitter = random.random()  # expect: R2
+        if query.cost == 1.375:  # expect: R3
+            return jitter
+        total_cost = compute(query) + jitter
+        if total_cost != 0.0:  # expect: R3
+            return total_cost
+        return started
+
+
+class StampedAlgo(CoSKQAlgorithm):  # expect: R1
+    # Declares its attributes but is absent from the registry (one R1).
+    name = "stamped"
+    exact = False
+
+    def solve(self, query):  # expect: R5
+        stamp = datetime.now()
+        return stamp
+
+
+def cache_lookup(key, bucket={}):  # expect: R4
+    try:
+        return bucket[key]
+    except:  # expect: R4
+        return None
+
+
+class QuietAlgo(CoSKQAlgorithm):  # expect: R1
+    # Declares its attributes but is absent from the registry (one R1).
+    name = "quiet"
+    exact = True
+
+    def solve(self, query):  # repro: noqa(R5) — suppression must be honored
+        return cache_lookup(query)

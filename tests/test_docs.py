@@ -22,7 +22,13 @@ def read(name: str) -> str:
 class TestFilesExist:
     @pytest.mark.parametrize(
         "name",
-        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHMS.md"],
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/ALGORITHMS.md",
+            "docs/STATIC_ANALYSIS.md",
+        ],
     )
     def test_present_and_substantial(self, name):
         text = read(name)

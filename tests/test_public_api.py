@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.bench",
     "repro.network",
     "repro.utils",
+    "repro.analysis",
 ]
 
 
