@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint check bench bench-reports figures full-experiments clean
+.PHONY: install test lint check chaos bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
@@ -8,13 +8,18 @@ install:
 test:
 	pytest tests/
 
-# Repo-specific static analysis (rules R1-R5; docs/STATIC_ANALYSIS.md).
+# Repo-specific static analysis (rules R1-R6; docs/STATIC_ANALYSIS.md).
 lint:
 	PYTHONPATH=src python -m repro.analysis --strict
 
-# Everything a PR must keep green: the linter plus the tier-1 suite.
+# Everything a PR must keep green: the linter (incl. R6) plus the tier-1 suite.
 check: lint
 	PYTHONPATH=src python -m pytest -x -q
+
+# The resilience/chaos suite alone (docs/ROBUSTNESS.md).
+chaos:
+	PYTHONPATH=src python -m pytest -q tests/test_exec_policy.py \
+		tests/test_exec_fallback.py tests/test_exec_chaos.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,9 +8,12 @@ Run with::
 from repro import (
     DiaAppro,
     DiaExact,
+    ExecutionPolicy,
+    FallbackChain,
     MaxSumAppro,
     MaxSumExact,
     Query,
+    ResilientExecutor,
     SearchContext,
     hotel_like,
 )
@@ -49,6 +52,17 @@ def main() -> None:
         print(
             "%-13s cost=%8.3f  objects: %s" % (algorithm.name, result.cost, members)
         )
+
+    # 5. Serving-grade execution: bound the exact search and degrade
+    #    gracefully to the approximations when it blows the budget.
+    #    (work_budget=25 is deliberately tiny so the degradation shows.)
+    chain = FallbackChain.of(context, "maxsum-exact", "maxsum-appro", "nn-set")
+    executor = ResilientExecutor(
+        chain, ExecutionPolicy(deadline_ms=250.0, work_budget=25)
+    )
+    result = executor.solve(query)
+    print("\nresilient: cost=%.3f" % result.cost)
+    print("provenance:", result.provenance.describe())
 
 
 if __name__ == "__main__":

@@ -68,11 +68,27 @@ from repro.data import (
     web_like,
 )
 from repro.errors import (
+    BudgetExceededError,
     CoSKQError,
     DatasetFormatError,
+    DeadlineExceededError,
+    ExecutionError,
+    ExecutionFailedError,
     InfeasibleQueryError,
+    InjectedFaultError,
     InvalidParameterError,
+    SearchAbortedError,
     UnknownKeywordError,
+)
+from repro.exec import (
+    BatchExecutor,
+    ChaosIndex,
+    ExecutionPolicy,
+    ExecutionProvenance,
+    FallbackChain,
+    FaultPlan,
+    ResilientExecutor,
+    chaos_context,
 )
 from repro.geometry import MBR, Circle, Point
 from repro.index import InvertedIndex, IRTree, LinearScanIndex, RTree
@@ -142,4 +158,19 @@ __all__ = [
     "UnknownKeywordError",
     "DatasetFormatError",
     "InvalidParameterError",
+    "ExecutionError",
+    "SearchAbortedError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "InjectedFaultError",
+    "ExecutionFailedError",
+    # resilient execution
+    "ExecutionPolicy",
+    "FallbackChain",
+    "ResilientExecutor",
+    "ExecutionProvenance",
+    "BatchExecutor",
+    "FaultPlan",
+    "ChaosIndex",
+    "chaos_context",
 ]

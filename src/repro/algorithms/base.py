@@ -75,18 +75,41 @@ class SearchContext:
 
     @property
     def index(self) -> SpatialTextIndex:
-        """The IR-tree (or any :class:`SpatialTextIndex`) over the dataset."""
+        """The IR-tree (or any :class:`SpatialTextIndex`) over the dataset.
+
+        The build is atomic: the index is constructed into a local and
+        cached only once fully built, so a ``KeyboardInterrupt`` (or any
+        error) mid-build can never leave a half-built index cached — the
+        next access simply rebuilds from scratch.
+        """
         if self._index is None:
-            self._index = self._index_cls.build(
+            built = self._index_cls.build(
                 self.dataset, max_entries=self.max_entries
             )
+            self._index = built
         return self._index
 
     @property
     def inverted(self) -> InvertedIndex:
+        """The inverted index, built atomically like :attr:`index`."""
         if self._inverted is None:
-            self._inverted = InvertedIndex(self.dataset)
+            built = InvertedIndex(self.dataset)
+            self._inverted = built
         return self._inverted
+
+    def with_index(self, index: SpatialTextIndex) -> "SearchContext":
+        """A sibling context over the same dataset with ``index`` swapped in.
+
+        The inverted index is shared (it is keyword-only, so wrappers
+        around the spatial index — chaos injection, remote shims, caches —
+        do not affect it).  Used by :func:`repro.exec.chaos.chaos_context`.
+        """
+        clone = SearchContext(
+            self.dataset, max_entries=self.max_entries, index_cls=self._index_cls
+        )
+        clone._index = index
+        clone._inverted = self._inverted
+        return clone
 
     # -- query-time primitives shared by the algorithms ---------------------
 
@@ -132,6 +155,16 @@ class CoSKQAlgorithm(ABC):
         self.cost = cost
         #: Work counters for the ablation benchmarks; reset per solve().
         self.counters: Dict[str, int] = {}
+        #: Optional cooperative-cancellation hook (duck-typed to
+        #: :class:`repro.exec.Budget`: ``tick(amount, counters=...)`` and
+        #: ``checkpoint(counters=...)``).  When set, every ``_bump`` ticks
+        #: it, so long searches abort promptly with a typed
+        #: :class:`~repro.errors.BudgetExceededError` /
+        #: :class:`~repro.errors.DeadlineExceededError` carrying partial
+        #: progress.  Attached per attempt by the resilient executor
+        #: (:mod:`repro.exec.executor`); ``None`` costs one attribute
+        #: check per bump.
+        self.budget = None
 
     @abstractmethod
     def solve(self, query: Query) -> CoSKQResult:
@@ -148,6 +181,13 @@ class CoSKQAlgorithm(ABC):
 
     def _bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + amount
+        if self.budget is not None:
+            self.budget.tick(amount, counters=self.counters)
+
+    def _checkpoint(self) -> None:
+        """Probe the deadline without charging work (for coarse loops)."""
+        if self.budget is not None:
+            self.budget.checkpoint(counters=self.counters)
 
     def _result(self, objects, cost_value: float) -> CoSKQResult:
         return CoSKQResult.of(

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algorithms.base import CoSKQAlgorithm
 from repro.cost.base import QueryAggregate
+from repro.errors import BudgetExceededError
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -128,10 +129,13 @@ class BranchBoundExact(CoSKQAlgorithm):
                         incumbent, incumbent_cost = list(extended[0]), extended[1]
                 continue
             expansions += 1
+            self._bump("states_expanded")
             if expansions > self.max_expansions:
-                raise RuntimeError(
-                    "branch-and-bound expansion budget exceeded "
-                    "(%d states)" % self.max_expansions
+                raise BudgetExceededError(
+                    "states_expanded",
+                    self.max_expansions,
+                    expansions,
+                    counters=self.counters,
                 )
             branch_keyword = min(
                 query.keywords - state.covered,
@@ -147,14 +151,15 @@ class BranchBoundExact(CoSKQAlgorithm):
                 )
                 if child_lb < incumbent_cost:
                     pushes += 1
+                    self._bump("states_pushed")
                     if pushes > self.max_pushes:
-                        raise RuntimeError(
-                            "branch-and-bound frontier budget exceeded "
-                            "(%d states pushed)" % self.max_pushes
+                        raise BudgetExceededError(
+                            "states_pushed",
+                            self.max_pushes,
+                            pushes,
+                            counters=self.counters,
                         )
                     heapq.heappush(heap, (child_lb, next(counter), child))
-        self._bump("states_expanded", expansions)
-        self._bump("states_pushed", pushes)
         return self._result(incumbent, incumbent_cost)
 
     # -- bounding ---------------------------------------------------------------

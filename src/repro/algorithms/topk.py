@@ -28,7 +28,7 @@ from typing import Dict, FrozenSet, List, Tuple
 
 from repro.algorithms.base import CoSKQAlgorithm, SearchContext
 from repro.cost.base import CostFunction, QueryAggregate
-from repro.errors import InvalidParameterError
+from repro.errors import BudgetExceededError, InvalidParameterError
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
 
@@ -97,8 +97,14 @@ class TopKCoSKQ(CoSKQAlgorithm):
                 )
                 continue
             expansions += 1
+            self._bump("states_expanded")
             if expansions > self.max_expansions:
-                raise RuntimeError("top-k expansion budget exceeded")
+                raise BudgetExceededError(
+                    "states_expanded",
+                    self.max_expansions,
+                    expansions,
+                    counters=self.counters,
+                )
             branch = min(
                 query.keywords - covered, key=lambda t: (len(by_keyword[t]), t)
             )
@@ -136,7 +142,6 @@ class TopKCoSKQ(CoSKQAlgorithm):
                             new_diam,
                         ),
                     )
-        self._bump("states_expanded", expansions)
         if not found:
             raise AssertionError("feasible query must yield at least one set")
         return found

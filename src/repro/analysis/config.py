@@ -38,12 +38,19 @@ _DEFAULT_INCLUDE: Dict[str, Tuple[str, ...]] = {
         "repro/geometry/",
         "repro/network/",
     ),
+    # Typed-abort rule: solver code must raise the CoSKQError taxonomy,
+    # never a bare RuntimeError.
+    "R6": (
+        "repro/algorithms/",
+        "repro/network/",
+    ),
 }
 
 _DEFAULT_EXCLUDE: Dict[str, Tuple[str, ...]] = {
-    # Determinism rule: the RNG plumbing and the timing harness are the
-    # two sanctioned homes for randomness/clocks.
-    "R2": ("repro/utils/rng.py", "repro/bench/"),
+    # Determinism rule: the RNG plumbing, the timing harness, and the
+    # exec layer's injectable clock are the sanctioned homes for
+    # randomness/clocks.
+    "R2": ("repro/utils/rng.py", "repro/bench/", "repro/exec/clock.py"),
 }
 
 _DEFAULT_REGISTRY = "repro/algorithms/registry.py"

@@ -25,6 +25,7 @@ from repro.analysis.rules import (
     check_r3,
     check_r4,
     check_r5,
+    check_r6,
     parse_noqa,
 )
 
@@ -251,6 +252,8 @@ def run_analysis(
         for violation in check_r4(module, config):
             raw.append((module, violation))
         for violation in check_r5(module, config, project):
+            raw.append((module, violation))
+        for violation in check_r6(module, config):
             raw.append((module, violation))
 
     used_noqa: Set[Tuple[str, int]] = set()

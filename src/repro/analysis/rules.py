@@ -12,7 +12,12 @@ and the suppression mechanism (``# repro: noqa(RX)``).  The rules:
   expressions; use :mod:`repro.utils.floatcmp`;
 - **R4** — no mutable default arguments, no bare ``except:``, every
   public module declares ``__all__``;
-- **R5** — every ``solve()`` override resets its work counters first.
+- **R5** — every ``solve()`` override resets its work counters first;
+- **R6** — no bare ``RuntimeError`` raised in solver code
+  (``repro/algorithms/``, ``repro/network/``): budget/search aborts must
+  use the typed taxonomy in :mod:`repro.errors`
+  (``BudgetExceededError`` etc.) so the resilience runtime can catch
+  them and degrade instead of dying.
 
 Rules are pure functions from parsed module/project structure to
 :class:`Violation` streams; the engine (see :mod:`repro.analysis.engine`)
@@ -42,6 +47,7 @@ __all__ = [
     "check_r3",
     "check_r4",
     "check_r5",
+    "check_r6",
 ]
 
 #: One-line summaries, used by ``--list-rules`` and the docs test.
@@ -51,6 +57,7 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R3": "no float ==/!= in distance/cost code; use repro.utils.floatcmp",
     "R4": "no mutable defaults, no bare except, public modules need __all__",
     "R5": "every solve() override calls self._reset_counters() first",
+    "R6": "no bare RuntimeError in solver code; raise the typed taxonomy",
     "NOQA": "suppression comment suppresses nothing (reported with --strict)",
 }
 
@@ -492,4 +499,40 @@ def check_r5(
                 solve.lineno,
                 "solve() in %r must call self._reset_counters() as its first "
                 "statement" % (classdef.name,),
+            )
+
+
+# -- R6: typed aborts in solver code ------------------------------------------
+
+
+def check_r6(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
+    """No bare ``RuntimeError`` raised in solver code.
+
+    A ``raise RuntimeError`` from a search loop escapes every typed
+    handler in the resilience runtime (:mod:`repro.exec`), turning a
+    budget blow-up into a dead batch instead of a degraded answer.
+    Scoped by default to ``repro/algorithms/`` and ``repro/network/``;
+    aborts there must use the :class:`repro.errors.CoSKQError` taxonomy
+    (``BudgetExceededError``, ``DeadlineExceededError``, ...).
+
+    Both ``raise RuntimeError(...)`` and a bare ``raise RuntimeError``
+    are flagged; re-raises of a caught name and other exception types
+    are not this rule's business.
+    """
+    if not config.applies_to("R6", module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        if _terminal_identifier(target) == "RuntimeError":
+            yield Violation(
+                "R6",
+                module.relpath,
+                node.lineno,
+                "bare RuntimeError raised in solver code; raise a typed "
+                "CoSKQError (e.g. repro.errors.BudgetExceededError) so the "
+                "resilience layer can degrade instead of dying",
             )

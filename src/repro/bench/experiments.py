@@ -122,11 +122,11 @@ def _safe_mean_time(algorithm: CoSKQAlgorithm, queries) -> float:
     Infeasible queries (possible when a sweep reuses one query set over
     truncated datasets) also land as NaN rather than aborting the sweep.
     """
-    from repro.errors import InfeasibleQueryError
+    from repro.errors import InfeasibleQueryError, SearchAbortedError
 
     try:
         return time_algorithm(algorithm, queries, keep_results=False).mean_time
-    except (RuntimeError, InfeasibleQueryError):
+    except (RuntimeError, SearchAbortedError, InfeasibleQueryError):
         return math.nan
 
 

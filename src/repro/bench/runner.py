@@ -9,20 +9,48 @@ The paper's evaluation reports two measurements per experimental cell:
 :func:`time_algorithm` and :func:`ratio_study` produce exactly those,
 with feasibility asserted on every result so a silently wrong algorithm
 cannot produce a pretty number.
+
+Every entry point here takes a :class:`Solver` — anything with
+``solve(query) -> CoSKQResult`` and a ``name`` — so a
+:class:`repro.exec.ResilientExecutor` can be timed exactly like a bare
+algorithm.  :func:`resilience_study` is the failure-aware variant: it
+times a workload under per-query isolation (via
+:class:`repro.exec.BatchExecutor`) and reports answered/degraded/failed
+splits instead of dying on the first poisoned query.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Protocol, Sequence, Tuple
 
-from repro.algorithms.base import CoSKQAlgorithm
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
 from repro.utils.stats import Summary, summarize
 
-__all__ = ["TimingResult", "RatioResult", "time_algorithm", "ratio_study", "solve_all"]
+__all__ = [
+    "Solver",
+    "TimingResult",
+    "RatioResult",
+    "ResilienceResult",
+    "time_algorithm",
+    "ratio_study",
+    "resilience_study",
+    "solve_all",
+]
+
+
+class Solver(Protocol):
+    """What the measurement plumbing needs from a solver.
+
+    Satisfied by every :class:`~repro.algorithms.base.CoSKQAlgorithm`,
+    the network solvers, and :class:`repro.exec.ResilientExecutor`.
+    """
+
+    name: str
+
+    def solve(self, query: Query) -> CoSKQResult: ...
 
 
 @dataclass(frozen=True)
@@ -49,8 +77,39 @@ class RatioResult:
     optimal_fraction: float  # fraction of queries answered exactly
 
 
+@dataclass(frozen=True)
+class ResilienceResult:
+    """Failure-aware timing over a workload (per-query isolation).
+
+    Unlike :class:`TimingResult`, a query that fails does not abort the
+    study: it is counted in ``failed`` and its failure detail kept in
+    ``failures`` (tuples of ``(query index, error type, message)``).
+    ``times`` summarizes only the answered queries.
+    """
+
+    algorithm: str
+    times: Summary
+    answered: int
+    degraded: int
+    failed: int
+    failures: Tuple[Tuple[int, str, str], ...] = field(repr=False, default=())
+
+    @property
+    def total(self) -> int:
+        return self.answered + self.failed
+
+    def summary(self) -> str:
+        return "%s: %d/%d answered (%d degraded, %d failed)" % (
+            self.algorithm,
+            self.answered,
+            self.total,
+            self.degraded,
+            self.failed,
+        )
+
+
 def solve_all(
-    algorithm: CoSKQAlgorithm, queries: Sequence[Query]
+    algorithm: Solver, queries: Sequence[Query]
 ) -> List[CoSKQResult]:
     """Run one algorithm over all queries, asserting feasibility."""
     out: List[CoSKQResult] = []
@@ -65,7 +124,7 @@ def solve_all(
 
 
 def time_algorithm(
-    algorithm: CoSKQAlgorithm,
+    algorithm: Solver,
     queries: Sequence[Query],
     keep_results: bool = True,
 ) -> TimingResult:
@@ -91,8 +150,8 @@ def time_algorithm(
 
 
 def ratio_study(
-    exact: CoSKQAlgorithm,
-    approximations: Sequence[CoSKQAlgorithm],
+    exact: Solver,
+    approximations: Sequence[Solver],
     queries: Sequence[Query],
     tie_tolerance: float = 1e-9,
     optima: Sequence[CoSKQResult] | None = None,
@@ -138,3 +197,50 @@ def ratio_study(
             optimal_fraction=exact_hits / len(queries) if queries else 0.0,
         )
     return out
+
+
+def resilience_study(
+    solver: Solver, queries: Sequence[Query]
+) -> ResilienceResult:
+    """Time a workload under per-query isolation.
+
+    Each query is timed individually; a failing query is recorded rather
+    than propagated, so one poisoned query cannot sink the whole study.
+    A result whose provenance says ``degraded`` (see
+    :class:`repro.exec.ExecutionProvenance`) counts toward ``degraded``
+    as well as ``answered``.
+    """
+    from repro.exec import BatchExecutor
+
+    per_query: List[float] = []
+
+    class _Timed:
+        name = solver.name
+
+        def solve(self, query: Query) -> CoSKQResult:
+            started = time.perf_counter()
+            try:
+                return solver.solve(query)
+            finally:
+                per_query.append(time.perf_counter() - started)
+
+    report = BatchExecutor(_Timed()).run(queries)
+    # Only answered queries contribute a timing sample: a failed attempt
+    # measures the failure path, not the algorithm.
+    answered_times = [
+        per_query[i]
+        for i, result in enumerate(report.results)
+        if result is not None
+    ]
+    return ResilienceResult(
+        algorithm=solver.name,
+        times=summarize(answered_times)
+        if answered_times
+        else Summary(mean=0.0, minimum=0.0, maximum=0.0, count=0),
+        answered=report.answered,
+        degraded=report.degraded,
+        failed=report.failed,
+        failures=tuple(
+            (f.index, f.error_type, f.message) for f in report.failures
+        ),
+    )

@@ -3,9 +3,18 @@
 Every error raised deliberately by this package derives from
 :class:`CoSKQError`, so callers can catch library failures without
 accidentally swallowing programming errors.
+
+The :class:`ExecutionError` branch is the typed failure taxonomy of the
+resilience runtime (:mod:`repro.exec`): solver aborts carry their partial
+progress, injected chaos faults identify the failing call, and a fully
+failed fallback chain surfaces as one aggregate error instead of whatever
+its last stage happened to throw.  ``docs/ROBUSTNESS.md`` tabulates the
+taxonomy and when each member is raised.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
 
 __all__ = [
     "CoSKQError",
@@ -14,6 +23,12 @@ __all__ = [
     "DatasetFormatError",
     "InvalidParameterError",
     "ContractViolationError",
+    "ExecutionError",
+    "SearchAbortedError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "InjectedFaultError",
+    "ExecutionFailedError",
 ]
 
 
@@ -63,3 +78,100 @@ class ContractViolationError(CoSKQError, AssertionError):
     returns an infeasible set, misreports its cost, or violates its
     exactness/approximation-ratio guarantee against the oracle.
     """
+
+
+# -- the repro.exec failure taxonomy -------------------------------------------
+
+
+class ExecutionError(CoSKQError):
+    """Base of the resilience runtime's failure taxonomy.
+
+    Catching this (rather than :class:`CoSKQError`) distinguishes
+    "the execution machinery gave up or was sabotaged" from semantic
+    query errors such as :class:`InfeasibleQueryError`.
+    """
+
+
+class SearchAbortedError(ExecutionError):
+    """A solver stopped before completing its search.
+
+    Carries the solver's work counters at abort time, so callers (and the
+    fallback chain's provenance) can see how far the search got before it
+    was cut off.
+    """
+
+    def __init__(self, message: str, counters: Optional[Dict[str, int]] = None):
+        super().__init__(message)
+        #: Work-counter snapshot at the moment of the abort.
+        self.counters: Dict[str, int] = dict(counters or {})
+
+
+class BudgetExceededError(SearchAbortedError):
+    """A work-counter budget was exhausted before the search finished."""
+
+    def __init__(
+        self,
+        counter: str,
+        limit: int,
+        spent: int,
+        counters: Optional[Dict[str, int]] = None,
+    ):
+        self.counter = counter
+        self.limit = limit
+        self.spent = spent
+        super().__init__(
+            "%s budget exceeded (%d spent, limit %d)" % (counter, spent, limit),
+            counters,
+        )
+
+
+class DeadlineExceededError(SearchAbortedError):
+    """A wall-clock deadline passed before the search finished."""
+
+    def __init__(
+        self,
+        deadline_ms: float,
+        elapsed_ms: float,
+        counters: Optional[Dict[str, int]] = None,
+    ):
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            "deadline exceeded (%.3f ms elapsed, deadline %.3f ms)"
+            % (elapsed_ms, deadline_ms),
+            counters,
+        )
+
+
+class InjectedFaultError(ExecutionError):
+    """A fault deliberately injected by the chaos harness.
+
+    Raised only by :mod:`repro.exec.chaos`; the default
+    :class:`~repro.exec.ExecutionPolicy` treats it as transient
+    (retryable) so the retry/fallback paths are deterministically
+    testable.
+    """
+
+    def __init__(self, method: str, call_number: int):
+        self.method = method
+        self.call_number = call_number
+        super().__init__(
+            "injected fault in %s() (call #%d)" % (method, call_number)
+        )
+
+
+class ExecutionFailedError(ExecutionError):
+    """Every stage of a fallback chain failed.
+
+    Aggregates the per-stage causes (``repro.exec.StageFailure`` records,
+    or anything with a useful ``str()``) so a dead chain surfaces as one
+    typed error instead of whatever the last stage happened to raise.
+    """
+
+    def __init__(self, failures: Sequence[object]):
+        #: Per-stage failure records, in chain order.
+        self.failures = tuple(failures)
+        detail = "; ".join(str(f) for f in self.failures) or "empty chain"
+        super().__init__(
+            "all %d fallback stages failed: %s" % (len(self.failures), detail)
+        )

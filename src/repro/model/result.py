@@ -4,12 +4,19 @@ A :class:`CoSKQResult` pairs the selected object set with the cost it was
 scored at, plus light provenance (algorithm name, counters useful for the
 ablation benchmarks).  Results validate their own feasibility so tests and
 the benchmark harness can assert correctness uniformly.
+
+The optional ``provenance`` slot carries execution provenance when the
+result came through the resilience runtime (see
+:class:`repro.exec.ExecutionProvenance`): which solver answered, why
+stronger solvers failed, and the guaranteed approximation ratio of the
+answer.  It is typed loosely here so the model layer stays independent of
+:mod:`repro.exec`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
@@ -25,6 +32,9 @@ class CoSKQResult:
     cost: float
     algorithm: str
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Execution provenance stamped by the resilience runtime (an
+    #: ``repro.exec.ExecutionProvenance``), or None for direct solves.
+    provenance: Optional[object] = None
 
     @staticmethod
     def of(
@@ -36,6 +46,10 @@ class CoSKQResult:
         """Build a result with objects ordered deterministically by oid."""
         ordered = tuple(sorted(objects, key=lambda o: o.oid))
         return CoSKQResult(ordered, cost, algorithm, counters or {})
+
+    def with_provenance(self, provenance: object) -> "CoSKQResult":
+        """A copy of this result stamped with execution provenance."""
+        return replace(self, provenance=provenance)
 
     @property
     def object_ids(self) -> Tuple[int, ...]:

@@ -27,7 +27,11 @@ import math
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.cost.base import CostFunction, QueryAggregate
-from repro.errors import InfeasibleQueryError, InvalidParameterError
+from repro.errors import (
+    BudgetExceededError,
+    InfeasibleQueryError,
+    InvalidParameterError,
+)
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -97,6 +101,9 @@ class _NetworkAlgorithm:
         self.context = context
         self.cost = cost
         self.counters: Dict[str, int] = {}
+        #: Optional cooperative-cancellation hook (see repro.exec.Budget);
+        #: attached per attempt by the resilient executor.
+        self.budget = None
 
     def _check_feasible(self, query: Query) -> None:
         missing = self.context.dataset.missing_keywords(query.keywords)
@@ -105,6 +112,11 @@ class _NetworkAlgorithm:
 
     def _reset_counters(self) -> None:
         self.counters = {}
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+        if self.budget is not None:
+            self.budget.tick(amount, counters=self.counters)
 
     def _result(self, objects, cost_value: float) -> CoSKQResult:
         return CoSKQResult.of(objects, cost_value, self.name, counters=dict(self.counters))
@@ -164,7 +176,7 @@ class NetworkGreedyAppro(_NetworkAlgorithm):
             for owner in self.context.objects_on(node):
                 if owner.keywords.isdisjoint(query.keywords):
                     continue
-                self.counters["owners_tried"] = self.counters.get("owners_tried", 0) + 1
+                self._bump("owners_tried")
                 candidate = self._complete(query, query_node, owner, dist, best_cost)
                 if candidate is None:
                     continue
@@ -258,8 +270,14 @@ class NetworkBnBExact(_NetworkAlgorithm):
                     incumbent = candidate
                 continue
             expansions += 1
+            self._bump("states_expanded")
             if expansions > self.max_expansions:
-                raise RuntimeError("network branch-and-bound budget exceeded")
+                raise BudgetExceededError(
+                    "states_expanded",
+                    self.max_expansions,
+                    expansions,
+                    counters=self.counters,
+                )
             branch = min(
                 query.keywords - covered, key=lambda t: (len(by_keyword[t]), t)
             )
@@ -296,5 +314,4 @@ class NetworkBnBExact(_NetworkAlgorithm):
                             new_diam,
                         ),
                     )
-        self.counters["states_expanded"] = expansions
         return self._result(incumbent, incumbent_cost)

@@ -6,6 +6,9 @@ Usage::
     coskq-query data.tsv --at 500 500 --keywords spa gym \
         --algorithm maxsum-appro --cost dia
     coskq-query data.tsv --at 500 500 --keywords spa gym --top 3
+    coskq-query data.tsv --at 500 500 --keywords spa gym \
+        --fallback "maxsum-exact -> maxsum-appro -> nn-set" \
+        --deadline-ms 200 --budget 100000
     coskq-query --demo --keywords w0001 w0002   # generated demo dataset
 
 The dataset file uses the library's text format — one object per line,
@@ -73,6 +76,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="report the K cheapest sets instead of one (monotone costs)",
     )
+    parser.add_argument(
+        "--fallback",
+        default=None,
+        metavar="CHAIN",
+        help=(
+            "run a resilient fallback chain instead of --algorithm, e.g. "
+            "'maxsum-exact -> maxsum-appro -> nn-set' (also accepts commas)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock deadline for the whole fallback chain",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-attempt work budget (search-state expansions etc.)",
+    )
     return parser
 
 
@@ -109,6 +135,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         x, y = args.at
         query = Query.from_words(x, y, args.keywords, dataset.vocabulary)
         cost = cost_by_name(args.cost) if args.cost else None
+        resilient = (
+            args.fallback is not None
+            or args.deadline_ms is not None
+            or args.budget is not None
+        )
+        if resilient and args.top is not None:
+            print(
+                "--top cannot be combined with --fallback/--deadline-ms/--budget",
+                file=sys.stderr,
+            )
+            return 2
+        if resilient:
+            from repro.exec import (
+                ExecutionPolicy,
+                FallbackChain,
+                ResilientExecutor,
+            )
+
+            spec = args.fallback if args.fallback is not None else args.algorithm
+            chain = FallbackChain.parse(spec, context, cost=cost)
+            policy = ExecutionPolicy(
+                deadline_ms=args.deadline_ms, work_budget=args.budget
+            )
+            result = ResilientExecutor(chain, policy).solve(query)
+            _print_result(result, dataset, query, None)
+            provenance = result.provenance
+            if provenance is not None:
+                print("  [%s]" % provenance.describe())
+            return 0
         if args.top is not None:
             topk = TopKCoSKQ(
                 context,

@@ -43,6 +43,12 @@ def cache_lookup(key, bucket={}):  # expect: R4
         return None
 
 
+def abort_search(expansions, limit):
+    if expansions > limit:
+        raise RuntimeError("expansion budget exceeded")  # expect: R6
+    raise errors.RuntimeError  # expect: R6
+
+
 class QuietAlgo(CoSKQAlgorithm):  # expect: R1
     # Declares its attributes but is absent from the registry (one R1).
     name = "quiet"

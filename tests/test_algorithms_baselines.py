@@ -10,6 +10,7 @@ from repro.algorithms.cao_appro import CaoAppro1, CaoAppro2
 from repro.algorithms.cao_exact import BranchBoundExact, CaoExact
 from repro.algorithms.nnset import NNSetAlgorithm
 from repro.cost.functions import DiaCost, MaxCost, MaxSumCost
+from repro.errors import BudgetExceededError
 from repro.data.generators import uniform_dataset
 from repro.data.queries import generate_queries
 
@@ -119,14 +120,17 @@ class TestBranchBoundExact:
     def test_expansion_budget_raises(self, tiny_context, tiny_queries):
         algo = BranchBoundExact(tiny_context, MaxSumCost(), max_expansions=0)
         # With zero budget, any query needing expansion must fail loudly
-        # rather than return a silently suboptimal answer.
+        # rather than return a silently suboptimal answer — and with the
+        # typed abort of the repro.exec taxonomy, not a raw RuntimeError.
         query = tiny_queries[0]
         nn_cost = NNSetAlgorithm(tiny_context, MaxSumCost()).solve(query).cost
         exact_cost = BruteForceExact(tiny_context, MaxSumCost()).solve(query).cost
         if close(nn_cost, exact_cost):
             pytest.skip("N(q) already optimal here; no expansion needed")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(BudgetExceededError) as info:
             algo.solve(query)
+        assert info.value.counter == "states_expanded"
+        assert info.value.limit == 0
 
     def test_counters(self, tiny_context, tiny_queries):
         algo = CaoExact(tiny_context, MaxSumCost())

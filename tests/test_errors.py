@@ -3,10 +3,16 @@
 import pytest
 
 from repro.errors import (
+    BudgetExceededError,
     CoSKQError,
     DatasetFormatError,
+    DeadlineExceededError,
+    ExecutionError,
+    ExecutionFailedError,
     InfeasibleQueryError,
+    InjectedFaultError,
     InvalidParameterError,
+    SearchAbortedError,
     UnknownKeywordError,
 )
 
@@ -18,8 +24,38 @@ class TestHierarchy:
             InfeasibleQueryError,
             DatasetFormatError,
             InvalidParameterError,
+            ExecutionError,
+            SearchAbortedError,
+            BudgetExceededError,
+            DeadlineExceededError,
+            InjectedFaultError,
+            ExecutionFailedError,
         ):
             assert issubclass(exc_type, CoSKQError)
+
+    def test_execution_taxonomy_nests_under_execution_error(self):
+        for exc_type in (
+            SearchAbortedError,
+            BudgetExceededError,
+            DeadlineExceededError,
+            InjectedFaultError,
+            ExecutionFailedError,
+        ):
+            assert issubclass(exc_type, ExecutionError)
+        for exc_type in (BudgetExceededError, DeadlineExceededError):
+            assert issubclass(exc_type, SearchAbortedError)
+
+    def test_taxonomy_never_masquerades_as_runtime_error(self):
+        # The robustness contract: callers distinguishing operational
+        # aborts from bugs must never have to catch RuntimeError.
+        for exc_type in (
+            SearchAbortedError,
+            BudgetExceededError,
+            DeadlineExceededError,
+            InjectedFaultError,
+            ExecutionFailedError,
+        ):
+            assert not issubclass(exc_type, RuntimeError)
 
     def test_unknown_keyword_is_key_error(self):
         assert issubclass(UnknownKeywordError, KeyError)
@@ -42,3 +78,46 @@ class TestMessages:
     def test_catchable_as_base(self):
         with pytest.raises(CoSKQError):
             raise InfeasibleQueryError([1])
+
+
+class TestExecutionTaxonomy:
+    def test_search_aborted_snapshots_counters(self):
+        counters = {"states_expanded": 7}
+        err = SearchAbortedError("stopped", counters=counters)
+        counters["states_expanded"] = 99  # the snapshot must not alias
+        assert err.counters == {"states_expanded": 7}
+        assert SearchAbortedError("stopped").counters == {}
+
+    def test_budget_exceeded_records_the_breach(self):
+        err = BudgetExceededError(
+            "states_expanded", 100, 103, counters={"states_expanded": 103}
+        )
+        assert err.counter == "states_expanded"
+        assert err.limit == 100
+        assert err.spent == 103
+        assert err.counters == {"states_expanded": 103}
+        assert "states_expanded budget exceeded (103 spent, limit 100)" in str(err)
+
+    def test_deadline_exceeded_records_timing(self):
+        err = DeadlineExceededError(deadline_ms=50.0, elapsed_ms=61.5)
+        assert err.deadline_ms == 50.0
+        assert err.elapsed_ms == 61.5
+        assert "61.500 ms elapsed" in str(err)
+        assert "deadline 50.000 ms" in str(err)
+
+    def test_injected_fault_identifies_the_call(self):
+        err = InjectedFaultError("keyword_nn", 17)
+        assert err.method == "keyword_nn"
+        assert err.call_number == 17
+        assert "keyword_nn() (call #17)" in str(err)
+
+    def test_execution_failed_aggregates_causes(self):
+        err = ExecutionFailedError(["stage-a: boom", "stage-b: bust"])
+        assert len(err.failures) == 2
+        assert "all 2 fallback stages failed" in str(err)
+        assert "stage-a: boom" in str(err)
+
+    def test_execution_failed_on_empty_chain(self):
+        err = ExecutionFailedError([])
+        assert err.failures == ()
+        assert "empty chain" in str(err)

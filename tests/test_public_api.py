@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.network",
     "repro.utils",
     "repro.analysis",
+    "repro.exec",
 ]
 
 

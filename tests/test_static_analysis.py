@@ -79,7 +79,7 @@ class TestFixtureViolations:
 
     def test_every_rule_id_exercised(self, report):
         seen = {violation.rule for violation in report.violations}
-        assert seen == {"R1", "R2", "R3", "R4", "R5"}
+        assert seen == {"R1", "R2", "R3", "R4", "R5", "R6"}
 
     def test_noqa_suppression_honored(self, report):
         # QuietAlgo.solve carries `# repro: noqa(R5)`; exactly that one
@@ -144,6 +144,20 @@ class TestConfigScoping:
             v.rule for v in run_analysis([target], PERMISSIVE).violations
         ] == ["R3"]
 
+    def test_r6_scoped_to_solver_paths(self, tmp_path):
+        target = tmp_path / "helper.py"
+        target.write_text(
+            '__all__ = []\n'
+            'def abort():\n'
+            '    raise RuntimeError("boom")\n',
+            encoding="utf-8",
+        )
+        scoped = AnalysisConfig(include={"R6": ("repro/algorithms/",)}, exclude={})
+        assert run_analysis([target], scoped).violations == []
+        assert [
+            v.rule for v in run_analysis([target], PERMISSIVE).violations
+        ] == ["R6"]
+
     def test_disable_turns_rule_off(self):
         config = AnalysisConfig(disable=("R1", "R2", "R3", "R4", "R5"))
         report = run_analysis([FIXTURE], config)
@@ -177,7 +191,7 @@ class TestCommandLine:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("R1", "R2", "R3", "R4", "R5"):
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert rule in out
 
     def test_missing_path_exits_two(self, capsys):
