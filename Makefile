@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint check chaos bench bench-reports figures full-experiments clean
+.PHONY: install test lint check chaos parallel-check parallel-bench bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 test:
 	pytest tests/
 
-# Repo-specific static analysis (rules R1-R6; docs/STATIC_ANALYSIS.md).
+# Repo-specific static analysis (rules R1-R7; docs/STATIC_ANALYSIS.md).
 lint:
 	PYTHONPATH=src python -m repro.analysis --strict
 
@@ -20,6 +20,20 @@ check: lint
 chaos:
 	PYTHONPATH=src python -m pytest -q tests/test_exec_policy.py \
 		tests/test_exec_fallback.py tests/test_exec_chaos.py
+
+# The parallel-engine gate: differential + metamorphic + property suites
+# (docs/PARALLELISM.md).
+parallel-check:
+	PYTHONPATH=src python -m pytest -q tests/test_differential_parallel.py \
+		tests/test_metamorphic_cache.py tests/test_exec_batch_properties.py \
+		tests/test_exec_chaos.py
+
+# Regenerate BENCH_parallel.json (quick-scale parallel_study).
+parallel-bench:
+	PYTHONPATH=src python -c "import pathlib; \
+		from repro.bench import experiments; \
+		experiments.PARALLEL_JSON_PATH = pathlib.Path('BENCH_parallel.json'); \
+		print(experiments.run_experiment('parallel_study', quick=True))"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -44,6 +44,12 @@ _DEFAULT_INCLUDE: Dict[str, Tuple[str, ...]] = {
         "repro/algorithms/",
         "repro/network/",
     ),
+    # Read-only search state: solvers may not assign through shared
+    # context/index owners — the memoizing caches depend on it.
+    "R7": (
+        "repro/algorithms/",
+        "repro/network/",
+    ),
 }
 
 _DEFAULT_EXCLUDE: Dict[str, Tuple[str, ...]] = {

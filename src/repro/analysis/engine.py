@@ -26,6 +26,7 @@ from repro.analysis.rules import (
     check_r4,
     check_r5,
     check_r6,
+    check_r7,
     parse_noqa,
 )
 
@@ -254,6 +255,8 @@ def run_analysis(
         for violation in check_r5(module, config, project):
             raw.append((module, violation))
         for violation in check_r6(module, config):
+            raw.append((module, violation))
+        for violation in check_r7(module, config):
             raw.append((module, violation))
 
     used_noqa: Set[Tuple[str, int]] = set()

@@ -17,7 +17,13 @@ and the suppression mechanism (``# repro: noqa(RX)``).  The rules:
   (``repro/algorithms/``, ``repro/network/``): budget/search aborts must
   use the typed taxonomy in :mod:`repro.errors`
   (``BudgetExceededError`` etc.) so the resilience runtime can catch
-  them and degrade instead of dying.
+  them and degrade instead of dying;
+- **R7** — solver code never assigns through shared search state: no
+  writes reaching through a ``context``/``index``/``inverted`` owner
+  (``self.context.index = ...``, ``algo.index._cache[k] = v``).  The
+  memoizing cache layer (:mod:`repro.index.cache`) and the cross-query
+  result cache are only sound because solvers treat the index as
+  read-only; this rule pins that assumption.
 
 Rules are pure functions from parsed module/project structure to
 :class:`Violation` streams; the engine (see :mod:`repro.analysis.engine`)
@@ -48,6 +54,7 @@ __all__ = [
     "check_r4",
     "check_r5",
     "check_r6",
+    "check_r7",
 ]
 
 #: One-line summaries, used by ``--list-rules`` and the docs test.
@@ -58,6 +65,7 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R4": "no mutable defaults, no bare except, public modules need __all__",
     "R5": "every solve() override calls self._reset_counters() first",
     "R6": "no bare RuntimeError in solver code; raise the typed taxonomy",
+    "R7": "solver code never mutates shared context/index state",
     "NOQA": "suppression comment suppresses nothing (reported with --strict)",
 }
 
@@ -536,3 +544,66 @@ def check_r6(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
                 "CoSKQError (e.g. repro.errors.BudgetExceededError) so the "
                 "resilience layer can degrade instead of dying",
             )
+
+
+# -- R7: shared search state is read-only --------------------------------------
+
+#: Names that denote shared search state when they appear as an *owner*
+#: in an assignment target (``self.context.index = ...``).  A bare
+#: ``self.context = ...`` (construction) has no such owner and is fine.
+_R7_SHARED_OWNERS = frozenset({"context", "index", "inverted"})
+
+
+def _owner_components(node: ast.AST) -> List[str]:
+    """Dotted/subscripted components of an assignment target's owner."""
+    parts: List[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return parts
+
+
+def check_r7(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
+    """Solver code never assigns through shared context/index state.
+
+    Every caching layer — :class:`repro.index.cache.CachingIndex`, the
+    cross-query result cache, the fork-inherited worker runtimes — is
+    sound only while solvers treat the :class:`SearchContext` and its
+    indexes as read-only.  This rule flags assignments, augmented
+    assignments, annotated assignments and deletes whose target reaches
+    *through* a ``context``/``index``/``inverted`` component
+    (``self.context.dataset = ...``, ``self.index._cache[k] = v``,
+    ``del algo.context.index``).  Plain construction-time attributes
+    (``self.context = context``) have no shared owner and are untouched.
+    Scoped by default to ``repro/algorithms/`` and ``repro/network/``;
+    legitimate wiring elsewhere (e.g. the cache layer itself) is out of
+    scope by configuration, not suppression.
+    """
+    if not config.applies_to("R7", module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            owners = _owner_components(target.value)
+            touched = sorted(set(owners) & _R7_SHARED_OWNERS)
+            if touched:
+                yield Violation(
+                    "R7",
+                    module.relpath,
+                    node.lineno,
+                    "solver code mutates shared search state (through %s); "
+                    "SearchContext and its indexes are read-only — the "
+                    "memoizing caches depend on it" % ", ".join(repr(t) for t in touched),
+                )

@@ -45,6 +45,9 @@ class BatchReport:
     solver: str
     results: List[Optional[CoSKQResult]] = field(default_factory=list)
     failures: List[QueryFailure] = field(default_factory=list)
+    #: Merged cache counters when the batch ran with memoization (the
+    #: parallel engine fills this in); None for uncached runs.
+    cache_stats: Optional[Dict[str, int]] = None
 
     @property
     def total(self) -> int:

@@ -1,5 +1,6 @@
-"""Spatial-textual indexing: inverted index, R-tree and IR-tree."""
+"""Spatial-textual indexing: inverted index, R-tree, IR-tree and caches."""
 
+from repro.index.cache import DEFAULT_CACHE_CAPACITY, CacheStats, CachingIndex
 from repro.index.inverted import InvertedIndex
 from repro.index.irtree import IRTree, IRTreeNode
 from repro.index.neighbors import LinearScanIndex
@@ -9,6 +10,9 @@ from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree, RTreeNode
 __all__ = [
     "SpatialTextIndex",
     "InvertedIndex",
+    "CachingIndex",
+    "CacheStats",
+    "DEFAULT_CACHE_CAPACITY",
     "RTree",
     "RTreeNode",
     "IRTree",

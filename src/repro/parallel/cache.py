@@ -1,0 +1,120 @@
+"""The cross-query result cache: whole answers, memoized per worker.
+
+Where :class:`~repro.index.cache.CachingIndex` memoizes index
+*primitives*, :class:`ResultCache` memoizes whole solves: production
+CoSKQ traffic is heavily skewed (the same hotspot query arrives over and
+over), and re-running an exponential exact search for a byte-identical
+query is pure waste.  Keys follow the paper's query identity — the pair
+``(q.λ, q.ψ)`` — extended with the solver label and cost name, because
+the *same* query answered by a different algorithm or objective is a
+different answer.
+
+When result reuse is **unsound** (and therefore refused or bypassed):
+
+- under chaos injection — a cached answer would skip the fault plan
+  (:class:`~repro.parallel.spec.WorkerEnv` rejects the combination);
+- for nondeterministic or stateful solvers — everything in the registry
+  is deterministic by construction (lint rule R2) and index-read-only
+  (lint rule R7), which is exactly what makes this cache sound;
+- when per-solve provenance matters: a cached hit returns the original
+  result object, whose ``provenance.elapsed_ms``/``attempts`` describe
+  the *first* solve, not the hit.  Costs and objects are identical;
+  telemetry is historical.  ``docs/PARALLELISM.md`` discusses this.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.index.cache import CacheStats
+from repro.model.query import Query
+from repro.model.result import CoSKQResult
+
+__all__ = ["ResultCache", "CachedSolver", "result_key"]
+
+
+def result_key(
+    query: Query, solver_label: str, cost_name: Optional[str]
+) -> Tuple[object, ...]:
+    """The canonical cache key: ``(q.λ, frozenset(q.ψ), solver, cost)``."""
+    return (
+        query.location.x,
+        query.location.y,
+        query.keywords,
+        solver_label,
+        cost_name,
+    )
+
+
+class ResultCache:
+    """A bounded LRU from :func:`result_key` to :class:`CoSKQResult`."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise InvalidParameterError("result cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[object, ...], CoSKQResult]" = OrderedDict()
+
+    def get(self, key: Tuple[object, ...]) -> Optional[CoSKQResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Tuple[object, ...], result: CoSKQResult) -> None:
+        self._entries[key] = result
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "ResultCache(%d/%d, hits=%d)" % (
+            len(self._entries),
+            self.capacity,
+            self.stats.hits,
+        )
+
+
+class CachedSolver:
+    """Drop-in solver wrapper that consults a :class:`ResultCache`.
+
+    Duck-types the solver interface (``solve`` + ``name``), so it can be
+    timed, batched and chained exactly like the solver it wraps.  Only
+    successful solves are cached: failures must re-execute (a deadline
+    blow-up yesterday says nothing about the retry budget today).
+    """
+
+    def __init__(
+        self,
+        solver,
+        cache: ResultCache,
+        cost_name: Optional[str] = None,
+    ):
+        self.solver = solver
+        self.cache = cache
+        self.name = str(getattr(solver, "name", type(solver).__name__))
+        if cost_name is None:
+            cost = getattr(solver, "cost", None)
+            cost_name = getattr(cost, "name", None)
+        self.cost_name = cost_name
+
+    def solve(self, query: Query) -> CoSKQResult:
+        key = result_key(query, self.name, self.cost_name)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        result = self.solver.solve(query)
+        self.cache.put(key, result)
+        return result
+
+    def __repr__(self) -> str:
+        return "CachedSolver(%s, %r)" % (self.name, self.cache)

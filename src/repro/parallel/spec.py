@@ -1,0 +1,182 @@
+"""Picklable, declarative specs for the parallel batch engine.
+
+A :class:`ProcessPoolExecutor` worker cannot receive a live solver — a
+built solver drags a :class:`~repro.algorithms.base.SearchContext`, an
+IR-tree and (for resilient chains) clocks and budgets through pickle on
+*every task*.  The parallel engine therefore ships *recipes*:
+
+- :class:`WorkerEnv` — everything a worker builds **once** in its
+  initializer: the dataset, the index parameters, the cache
+  configuration and an optional chaos schedule;
+- :class:`SolverSpec` — a tiny frozen description of one solver (a
+  registry name or a fallback-chain spec plus policy knobs) that rides
+  along with each task and is built (then memoized) inside the worker;
+- :class:`CacheSpec` / :class:`ChaosSpec` — the cache and fault-plan
+  configurations, reduced to primitives.
+
+Everything here is a frozen dataclass of primitives, so pickling is
+cheap and the specs double as dictionary keys inside the workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import make_algorithm
+from repro.cost.functions import cost_by_name
+from repro.errors import InvalidParameterError
+from repro.exec.chaos import FaultPlan
+from repro.exec.fallback import FallbackChain
+from repro.exec.policy import ExecutionPolicy
+from repro.index.cache import DEFAULT_CACHE_CAPACITY
+from repro.model.dataset import Dataset
+
+__all__ = ["CacheSpec", "ChaosSpec", "SolverSpec", "WorkerEnv", "CACHE_MODES"]
+
+#: Recognized cache modes: no caching, index-lookup memoization,
+#: cross-query result reuse, or both ("full").
+CACHE_MODES = ("none", "index", "result", "full")
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Which memoization layers a worker enables, and how large."""
+
+    mode: str = "none"
+    index_capacity: int = DEFAULT_CACHE_CAPACITY
+    result_capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.mode not in CACHE_MODES:
+            raise InvalidParameterError(
+                "unknown cache mode %r; known: %s" % (self.mode, list(CACHE_MODES))
+            )
+        if self.index_capacity < 1 or self.result_capacity < 1:
+            raise InvalidParameterError("cache capacities must be >= 1")
+
+    @property
+    def caches_index(self) -> bool:
+        return self.mode in ("index", "full")
+
+    @property
+    def caches_results(self) -> bool:
+        return self.mode in ("result", "full")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A per-query deterministic fault schedule for chaos batches.
+
+    A single shared :class:`~repro.exec.chaos.FaultPlan` would make the
+    injected failure set depend on how queries interleave across
+    workers.  Instead each query ``i`` gets a **fresh** plan seeded from
+    ``(seed, i)`` — so the failure set of a batch is a pure function of
+    the batch, identical for 1, 2 or 4 workers (the chaos-interplay
+    guarantee tested in ``tests/test_exec_chaos.py``).
+    """
+
+    seed: int = 0
+    fail_rate: float = 0.0
+    flaky_once: Tuple[str, ...] = ()
+    fail_method: Tuple[str, ...] = ()
+    fail_nth: Tuple[int, ...] = ()
+
+    def plan_for(self, query_index: int) -> FaultPlan:
+        """The fault plan of query ``query_index``, order-independent."""
+        plan = FaultPlan(seed=(self.seed * 1_000_003 + query_index) & 0x7FFFFFFF)
+        if self.fail_rate:
+            plan.fail_rate(self.fail_rate)
+        for method in self.flaky_once:
+            plan.flaky_once(method)
+        for method in self.fail_method:
+            plan.fail_method(method)
+        if self.fail_nth:
+            plan.fail_nth(*self.fail_nth)
+        return plan
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A solver, reduced to what a worker needs to rebuild it.
+
+    ``chain``/``deadline_ms``/``work_budget``/``max_retries`` select the
+    resilient path (a :class:`~repro.exec.executor.ResilientExecutor`
+    over a :class:`~repro.exec.fallback.FallbackChain` — deadlines and
+    fallback degrade **per worker**, exactly as they do serially);
+    otherwise the bare registry algorithm is built.
+    """
+
+    algorithm: str = "maxsum-exact"
+    chain: Optional[str] = None
+    cost: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    work_budget: Optional[int] = None
+    max_retries: int = 0
+    always_answer: bool = True
+
+    @property
+    def resilient(self) -> bool:
+        return (
+            self.chain is not None
+            or self.deadline_ms is not None
+            or self.work_budget is not None
+            or self.max_retries > 0
+        )
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        spec = self.chain if self.chain is not None else self.algorithm
+        return tuple(
+            part.strip()
+            for part in spec.replace("->", ",").split(",")
+            if part.strip()
+        )
+
+    @property
+    def label(self) -> str:
+        """The name the built solver will report (for batch alignment)."""
+        if self.resilient:
+            return "exec[%s]" % "|".join(self.stage_names)
+        return self.algorithm
+
+    def build(self, context: SearchContext):
+        """Instantiate the described solver over ``context``."""
+        cost = cost_by_name(self.cost) if self.cost is not None else None
+        if not self.resilient:
+            return make_algorithm(self.algorithm, context, cost=cost)
+        from repro.exec.executor import ResilientExecutor
+
+        chain = FallbackChain.of(context, *self.stage_names, cost=cost)
+        policy = ExecutionPolicy(
+            deadline_ms=self.deadline_ms,
+            work_budget=self.work_budget,
+            max_retries=self.max_retries,
+            always_answer=self.always_answer,
+        )
+        return ResilientExecutor(chain, policy)
+
+
+@dataclass(frozen=True)
+class WorkerEnv:
+    """Everything one pool worker builds in its initializer.
+
+    Shipped exactly once per worker (via ``initargs``), never per task.
+    Under the ``fork`` start method the engine additionally pre-builds
+    the index in the parent so children inherit it for free (see
+    :mod:`repro.parallel.worker`).
+    """
+
+    dataset: Dataset
+    max_entries: int = 16
+    cache: CacheSpec = field(default_factory=CacheSpec)
+    chaos: Optional[ChaosSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.chaos is not None and self.cache.caches_results:
+            raise InvalidParameterError(
+                "result caching under chaos is unsound: a cached answer "
+                "skips the fault plan, so the injected failure set would "
+                "depend on query order (see docs/PARALLELISM.md)"
+            )

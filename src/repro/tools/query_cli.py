@@ -9,10 +9,15 @@ Usage::
     coskq-query data.tsv --at 500 500 --keywords spa gym \
         --fallback "maxsum-exact -> maxsum-appro -> nn-set" \
         --deadline-ms 200 --budget 100000
-    coskq-query --demo --keywords w0001 w0002   # generated demo dataset
+    coskq-query --demo --at 500 500 --keywords w0001 w0002   # demo dataset
+    coskq-query data.tsv --batch queries.tsv --workers 4 --cache full
 
 The dataset file uses the library's text format — one object per line,
 ``x<TAB>y<TAB>word word ...`` (see :meth:`repro.model.Dataset.load`).
+``--batch`` files use the same shape per query
+(:func:`repro.data.queries.load_query_file`); the batch runs on the
+process-parallel engine (:mod:`repro.parallel`) with per-query failure
+isolation — the exit code is 0 only when every query answered.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.cost.functions import ALL_COSTS, cost_by_name
 from repro.errors import CoSKQError
 from repro.model.dataset import Dataset
 from repro.model.query import Query
+from repro.parallel.spec import CACHE_MODES
 
 __all__ = ["main"]
 
@@ -48,14 +54,36 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=2,
         type=float,
         metavar=("X", "Y"),
-        required=True,
-        help="query location",
+        default=None,
+        help="query location (required unless --batch)",
     )
     parser.add_argument(
         "--keywords",
         nargs="+",
-        required=True,
-        help="query keywords (words, not ids)",
+        default=None,
+        help="query keywords (words, not ids; required unless --batch)",
+    )
+    parser.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run a whole query file (x<TAB>y<TAB>word word ...) through "
+            "the parallel batch engine instead of one --at/--keywords query"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --batch (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        default="none",
+        choices=CACHE_MODES,
+        help="memoization for --batch: index lookups, whole results, or both",
     )
     parser.add_argument(
         "--algorithm",
@@ -119,11 +147,67 @@ def _print_result(result, dataset: Dataset, query: Query, rank: Optional[int]) -
         )
 
 
+def _run_batch(args: argparse.Namespace, dataset: Dataset) -> int:
+    """--batch mode: the whole file through the parallel engine."""
+    from repro.data.queries import load_query_file
+    from repro.parallel import (
+        CacheSpec,
+        ParallelBatchExecutor,
+        SolverSpec,
+        WorkerEnv,
+    )
+
+    queries = load_query_file(args.batch, dataset.vocabulary)
+    spec = SolverSpec(
+        algorithm=args.algorithm,
+        chain=args.fallback,
+        cost=args.cost,
+        deadline_ms=args.deadline_ms,
+        work_budget=args.budget,
+    )
+    env = WorkerEnv(dataset=dataset, cache=CacheSpec(mode=args.cache))
+    with ParallelBatchExecutor(env, spec, workers=args.workers) as engine:
+        report = engine.run(queries)
+    print(report.summary())
+    for index, result in enumerate(report.results):
+        if result is not None:
+            objects = " ".join(str(obj.oid) for obj in result.objects)
+            print(
+                "query #%d: cost %.6g, objects [%s]" % (index, result.cost, objects)
+            )
+    for failure in report.failures:
+        print(str(failure), file=sys.stderr)
+    if report.cache_stats is not None:
+        stats = " ".join(
+            "%s=%d" % (key, value)
+            for key, value in sorted(report.cache_stats.items())
+        )
+        print("cache: %s" % stats)
+    return 0 if report.ok() else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.demo == (args.dataset is not None):
         print("provide a dataset file or --demo (not both)", file=sys.stderr)
         return 2
+    if args.batch is not None:
+        if args.at is not None or args.keywords is not None:
+            print("--batch replaces --at/--keywords", file=sys.stderr)
+            return 2
+        if args.top is not None:
+            print("--top cannot be combined with --batch", file=sys.stderr)
+            return 2
+        if args.workers < 1:
+            print("--workers must be >= 1", file=sys.stderr)
+            return 2
+    else:
+        if args.at is None or args.keywords is None:
+            print("--at and --keywords are required without --batch", file=sys.stderr)
+            return 2
+        if args.workers != 1 or args.cache != "none":
+            print("--workers/--cache only apply to --batch runs", file=sys.stderr)
+            return 2
     try:
         if args.demo:
             from repro.data.generators import hotel_like
@@ -131,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             dataset = hotel_like(scale=0.1, seed=0)
         else:
             dataset = Dataset.load(args.dataset)
+        if args.batch is not None:
+            return _run_batch(args, dataset)
         context = SearchContext(dataset)
         x, y = args.at
         query = Query.from_words(x, y, args.keywords, dataset.vocabulary)

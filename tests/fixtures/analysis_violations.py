@@ -49,6 +49,15 @@ def abort_search(expansions, limit):
     raise errors.RuntimeError  # expect: R6
 
 
+def poison_shared_state(algo, value):
+    algo.context.dataset = value  # expect: R7
+    algo.index._cache[0] = value  # expect: R7
+    algo.context.index.counters += 1  # expect: R7
+    del algo.context.inverted.postings  # expect: R7
+    algo.context = value  # construction-style rebind: not R7's business
+    return algo
+
+
 class QuietAlgo(CoSKQAlgorithm):  # expect: R1
     # Declares its attributes but is absent from the registry (one R1).
     name = "quiet"

@@ -247,3 +247,87 @@ class TestResilienceUnderChaos:
             return outcomes, list(plan.injected)
 
         assert run() == run()
+
+
+class TestChaosAcrossWorkers:
+    """Chaos interplay with the parallel engine (ISSUE: seed-determinism).
+
+    The injected failure set of a chaos batch must be a pure function of
+    (batch, seed) — the per-query fault plans built by
+    :class:`~repro.parallel.spec.ChaosSpec` make it independent of how
+    queries interleave across workers.
+    """
+
+    def _run(self, dataset, queries, workers, chaos):
+        from repro.parallel import (
+            CacheSpec,
+            ParallelBatchExecutor,
+            SolverSpec,
+            WorkerEnv,
+        )
+
+        env = WorkerEnv(
+            dataset=dataset, cache=CacheSpec(mode="index"), chaos=chaos
+        )
+        spec = SolverSpec(algorithm="maxsum-appro")
+        with ParallelBatchExecutor(env, spec, workers=workers) as engine:
+            return engine.run(queries)
+
+    def test_failure_set_is_worker_count_independent(
+        self, tiny_dataset, tiny_queries
+    ):
+        from repro.parallel import ChaosSpec
+
+        chaos = ChaosSpec(seed=5, fail_rate=0.35)
+        batch = list(tiny_queries)
+        reference = None
+        for workers in (1, 2, 4):
+            report = self._run(tiny_dataset, batch, workers, chaos)
+            outcome = (
+                [(f.index, f.error_type) for f in report.failures],
+                [
+                    round(r.cost, 9) if r is not None else None
+                    for r in report.results
+                ],
+            )
+            if reference is None:
+                reference = outcome
+                assert report.failed > 0, "fail_rate=0.35 injected nothing"
+                assert report.answered > 0, "every query failed; too coarse"
+            else:
+                assert outcome == reference, (
+                    "chaos outcome depends on worker count (workers=%d)"
+                    % workers
+                )
+
+    def test_chaos_failures_are_typed_injected_faults(
+        self, tiny_dataset, tiny_queries
+    ):
+        from repro.parallel import ChaosSpec
+
+        chaos = ChaosSpec(seed=5, fail_rate=0.35)
+        report = self._run(tiny_dataset, list(tiny_queries), 2, chaos)
+        for failure in report.failures:
+            assert failure.error_type == "InjectedFaultError", failure
+
+    def test_per_query_plans_differ_across_queries(self):
+        from repro.parallel import ChaosSpec
+
+        chaos = ChaosSpec(seed=9, fail_rate=0.5)
+        masks = [
+            _drive(chaos.plan_for(index), 20) for index in range(4)
+        ]
+        assert len({tuple(m) for m in masks}) > 1, (
+            "per-query plans collapsed to one schedule"
+        )
+        assert [_drive(chaos.plan_for(2), 20)] == [masks[2]]
+
+    def test_result_cache_under_chaos_is_rejected(self, tiny_dataset):
+        from repro.parallel import CacheSpec, ChaosSpec, WorkerEnv
+
+        with pytest.raises(InvalidParameterError):
+            WorkerEnv(
+                dataset=tiny_dataset,
+                cache=CacheSpec(mode="full"),
+                chaos=ChaosSpec(seed=1, fail_rate=0.1),
+            )

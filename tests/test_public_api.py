@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.utils",
     "repro.analysis",
     "repro.exec",
+    "repro.parallel",
 ]
 
 

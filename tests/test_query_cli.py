@@ -83,3 +83,99 @@ class TestQueryCli:
         code = main(["--demo", "--at", "500", "500", "--keywords", "w0000", "w0001"])
         assert code == 0
         assert "cost" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def batch_file(tmp_path_factory, dataset_file):
+    words = frequent_words(dataset_file, 3)
+    path = tmp_path_factory.mktemp("batch") / "queries.tsv"
+    lines = ["# three repeated queries plus a comment"]
+    for offset in (0, 50, 0):
+        lines.append("%d\t%d\t%s" % (400 + offset, 500, " ".join(words)))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestBatchMode:
+    def test_batch_runs_and_reports(self, dataset_file, batch_file, capsys):
+        code = main([dataset_file, "--batch", batch_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3 answered" in out
+        assert "query #0" in out and "query #2" in out
+
+    def test_batch_with_workers_and_cache(self, dataset_file, batch_file, capsys):
+        code = main(
+            [
+                dataset_file,
+                "--batch", batch_file,
+                "--workers", "2",
+                "--cache", "full",
+                "--algorithm", "maxsum-appro",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maxsum-appro: 3/3 answered" in out
+        assert "cache:" in out and "result_misses" in out
+
+    def test_batch_with_fallback_chain(self, dataset_file, batch_file, capsys):
+        code = main(
+            [
+                dataset_file,
+                "--batch", batch_file,
+                "--fallback", "maxsum-exact -> maxsum-appro",
+                "--deadline-ms", "10000",
+            ]
+        )
+        assert code == 0
+        assert "exec[maxsum-exact|maxsum-appro]" in capsys.readouterr().out
+
+    def test_batch_failure_sets_exit_code(self, dataset_file, tmp_path, capsys):
+        words = frequent_words(dataset_file, 2)
+        bad = tmp_path / "queries.tsv"
+        bad.write_text(
+            "400\t500\t%s\n0\t0\t%s unknown-word\n" % (" ".join(words), words[0]),
+            encoding="utf-8",
+        )
+        code = main([dataset_file, "--batch", str(bad)])
+        # Unknown words are caught at load time: clean error, exit 1.
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_batch_file_is_clean_error(self, dataset_file, tmp_path, capsys):
+        bad = tmp_path / "queries.tsv"
+        bad.write_text("not-tab-separated\n", encoding="utf-8")
+        code = main([dataset_file, "--batch", str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_conflicts_with_single_query_flags(
+        self, dataset_file, batch_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    dataset_file,
+                    "--batch", batch_file,
+                    "--at", "0", "0",
+                    "--keywords", "x",
+                ]
+            )
+            == 2
+        )
+        assert main([dataset_file, "--batch", batch_file, "--top", "2"]) == 2
+        assert main([dataset_file, "--batch", batch_file, "--workers", "0"]) == 2
+
+    def test_workers_without_batch_rejected(self, dataset_file, capsys):
+        words = frequent_words(dataset_file, 1)
+        code = main(
+            [
+                dataset_file,
+                "--at", "0", "0",
+                "--keywords", *words,
+                "--workers", "4",
+            ]
+        )
+        assert code == 2
+        assert "--workers/--cache only apply to --batch" in capsys.readouterr().err
