@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint check chaos parallel-check parallel-bench bench bench-reports figures full-experiments clean
+.PHONY: install test lint check chaos parallel-check parallel-bench kernels-check kernels-bench bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 test:
 	pytest tests/
 
-# Repo-specific static analysis (rules R1-R7; docs/STATIC_ANALYSIS.md).
+# Repo-specific static analysis (rules R1-R8; docs/STATIC_ANALYSIS.md).
 lint:
 	PYTHONPATH=src python -m repro.analysis --strict
 
@@ -34,6 +34,19 @@ parallel-bench:
 		from repro.bench import experiments; \
 		experiments.PARALLEL_JSON_PATH = pathlib.Path('BENCH_parallel.json'); \
 		print(experiments.run_experiment('parallel_study', quick=True))"
+
+# The kernels gate: flat-kernel property suite + the solver differential
+# suite proving kernels on/off bit-identity (docs/PERFORMANCE.md).
+kernels-check:
+	PYTHONPATH=src python -m pytest -q tests/test_kernels_flat.py \
+		tests/test_kernels_differential.py
+
+# Regenerate BENCH_kernels.json (quick-scale kernels_study).
+kernels-bench:
+	PYTHONPATH=src python -c "import pathlib; \
+		from repro.bench import experiments; \
+		experiments.KERNELS_JSON_PATH = pathlib.Path('BENCH_kernels.json'); \
+		print(experiments.run_experiment('kernels_study', quick=True))"
 
 bench:
 	pytest benchmarks/ --benchmark-only

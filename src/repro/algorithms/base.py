@@ -208,18 +208,51 @@ def minimal_subset(
 ) -> List[SpatialObject]:
     """Drop objects that contribute no exclusive query keyword.
 
-    Greedy reverse sweep: an object is removed when the remaining ones
-    still cover ``q.ψ``.  For monotone costs this never increases the
-    cost, so algorithms apply it before scoring candidate sets.
+    Greedy reverse sweep: an object is removed (all instances of its
+    oid at once) when the remaining ones still cover ``q.ψ``.  For
+    monotone costs this never increases the cost, so algorithms apply it
+    before scoring candidate sets.
+
+    Query distances are computed once for the sort and coverage is
+    tracked with per-keyword counts updated incrementally — O(n·k +
+    n log n) where the naive re-sort-and-rebuild sweep was O(n²·k) —
+    with removal decisions identical to the naive sweep's.
     """
-    kept = list(objects)
-    for obj in sorted(objects, key=lambda o: -query.location.distance_to(o.location)):
-        without = [o for o in kept if o.oid != obj.oid]
-        if not without:
+    instances = list(objects)
+    qloc = query.location
+    order = sorted(
+        range(len(instances)),
+        key=lambda i: -qloc.distance_to(instances[i].location),
+    )
+    # Per-keyword carrier counts over the kept multiset, restricted to
+    # the query keywords (the only ones the coverage test reads).
+    counts: Dict[int, int] = {t: 0 for t in query.keywords}
+    group_size: Dict[int, int] = {}
+    group_counts: Dict[int, Dict[int, int]] = {}
+    for obj in instances:
+        group_size[obj.oid] = group_size.get(obj.oid, 0) + 1
+        contribution = group_counts.setdefault(obj.oid, {})
+        for t in obj.keywords & query.keywords:
+            counts[t] += 1
+            contribution[t] = contribution.get(t, 0) + 1
+    if any(count == 0 for count in counts.values()):
+        # The set never covers the query, so no removal can pass the
+        # coverage test — exactly what the naive sweep concludes.
+        return instances
+    kept_size = len(instances)
+    removed: set[int] = set()
+    for i in order:
+        oid = instances[i].oid
+        if oid in removed:
+            continue  # a duplicate instance; the whole group is gone
+        size = group_size[oid]
+        if kept_size - size <= 0:
             continue
-        covered: set[int] = set()
-        for o in without:
-            covered.update(o.keywords)
-        if query.keywords <= covered:
-            kept = without
-    return kept
+        contribution = group_counts[oid]
+        if any(counts[t] - c <= 0 for t, c in contribution.items()):
+            continue  # removal would uncover some query keyword
+        removed.add(oid)
+        kept_size -= size
+        for t, c in contribution.items():
+            counts[t] -= c
+    return [o for o in instances if o.oid not in removed]

@@ -24,11 +24,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from array import array
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algorithms.base import CoSKQAlgorithm
 from repro.cost.base import QueryAggregate
 from repro.errors import BudgetExceededError
+from repro.kernels import kernels_enabled, max_distance_from
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -37,24 +39,44 @@ __all__ = ["BranchBoundExact", "CaoExact"]
 
 
 class _State:
-    """A partial set on the branch-and-bound frontier."""
+    """A partial set on the branch-and-bound frontier.
 
-    __slots__ = ("chosen", "covered", "qdist_sum", "qdist_max", "qdist_min", "diam")
+    ``xs``/``ys`` mirror the chosen objects' coordinates as packed
+    arrays (None when the kernels are toggled off) so the incremental
+    diameter in :meth:`extend` runs on flat doubles; the kernel tracks
+    the same exact hypot maximum as the scalar loop.
+    """
 
-    def __init__(self, chosen, covered, qdist_sum, qdist_max, qdist_min, diam):
+    __slots__ = ("chosen", "covered", "qdist_sum", "qdist_max", "qdist_min", "diam", "xs", "ys")
+
+    def __init__(self, chosen, covered, qdist_sum, qdist_max, qdist_min, diam, xs=None, ys=None):
         self.chosen: Tuple[SpatialObject, ...] = chosen
         self.covered: FrozenSet[int] = covered
         self.qdist_sum = qdist_sum
         self.qdist_max = qdist_max
         self.qdist_min = qdist_min
         self.diam = diam
+        self.xs: Optional[array] = xs
+        self.ys: Optional[array] = ys
 
     def extend(self, obj: SpatialObject, qdist: float, query_keywords: FrozenSet[int]) -> "_State":
+        loc = obj.location
         new_diam = self.diam
-        for other in self.chosen:
-            d = obj.location.distance_to(other.location)
-            if d > new_diam:
-                new_diam = d
+        new_xs = new_ys = None
+        if self.xs is not None:
+            if len(self.xs):
+                d = max_distance_from(loc.x, loc.y, self.xs, self.ys)
+                if d > new_diam:
+                    new_diam = d
+            new_xs = array("d", self.xs)
+            new_xs.append(loc.x)
+            new_ys = array("d", self.ys)
+            new_ys.append(loc.y)
+        else:
+            for other in self.chosen:
+                d = loc.distance_to(other.location)
+                if d > new_diam:
+                    new_diam = d
         return _State(
             chosen=self.chosen + (obj,),
             covered=self.covered | (obj.keywords & query_keywords),
@@ -62,6 +84,8 @@ class _State:
             qdist_max=max(self.qdist_max, qdist),
             qdist_min=min(self.qdist_min, qdist),
             diam=new_diam,
+            xs=new_xs,
+            ys=new_ys,
         )
 
 
@@ -109,7 +133,10 @@ class BranchBoundExact(CoSKQAlgorithm):
 
         aggregate = self.cost.query_aggregate
         counter = itertools.count()
-        root = _State((), frozenset(), 0.0, 0.0, math.inf, 0.0)
+        if kernels_enabled():
+            root = _State((), frozenset(), 0.0, 0.0, math.inf, 0.0, array("d"), array("d"))
+        else:
+            root = _State((), frozenset(), 0.0, 0.0, math.inf, 0.0)
         heap: List[Tuple[float, int, _State]] = [(0.0, next(counter), root)]
         expansions = 0
         pushes = 0

@@ -21,8 +21,9 @@ at the first success.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.kernels.oracle import DistanceOracle
 from repro.model.objects import SpatialObject
 
 __all__ = ["find_constrained_cover", "iter_covers", "CoverBudgetExceeded"]
@@ -38,6 +39,7 @@ def find_constrained_cover(
     anchors: Sequence[SpatialObject],
     pair_cap: Optional[float],
     node_budget: int = 2_000_000,
+    oracle: Optional[DistanceOracle] = None,
 ) -> Optional[List[SpatialObject]]:
     """A set of candidates covering ``uncovered`` under the pairwise cap.
 
@@ -45,6 +47,14 @@ def find_constrained_cover(
     owners); every chosen candidate must be within ``pair_cap`` of every
     anchor and of every other chosen candidate.  ``pair_cap`` of None
     disables the distance constraint (pure set cover).
+
+    ``oracle`` may carry a :class:`~repro.kernels.oracle.DistanceOracle`
+    built by the caller over exactly ``candidates`` with ``anchors[0]``
+    as its anchor (single-anchor searches only).  Then every distance
+    the search needs is a memoized array lookup shared across repeated
+    calls — the bisection probes of the owner-driven exact search — and
+    the per-keyword tables are built once instead of per call.  Results
+    and node-budget accounting are identical with or without it.
 
     Returns the chosen candidates (without the anchors) or None when no
     valid cover exists.  Raises :class:`CoverBudgetExceeded` if the
@@ -55,13 +65,53 @@ def find_constrained_cover(
     if not uncovered:
         return []
 
+    if oracle is not None and len(anchors) == 1:
+        return _find_cover_with_oracle(uncovered, pair_cap, node_budget, oracle)
+
     by_keyword = _candidates_by_keyword(uncovered, candidates, anchors, pair_cap)
     if by_keyword is None:
         return None
     budget = [node_budget]
     chosen: List[SpatialObject] = []
-    if _search(frozenset(uncovered), by_keyword, chosen, pair_cap, budget):
+    if _search(frozenset(uncovered), by_keyword, chosen, set(), pair_cap, budget):
         return list(chosen)
+    return None
+
+
+def _find_cover_with_oracle(
+    uncovered: FrozenSet[int],
+    pair_cap: Optional[float],
+    node_budget: int,
+    oracle: DistanceOracle,
+) -> Optional[List[SpatialObject]]:
+    """The oracle-backed cover search (same answers, memoized distances).
+
+    The cap-independent per-keyword tables come from the oracle's cache;
+    the anchor filter collapses to one vector compare over the memoized
+    owner-distance row.  Deduplication commutes with the cap filter
+    because the dedup key includes the exact location — co-located
+    duplicates share their anchor distance, so whichever representative
+    survives, its cap verdict is the class's verdict.
+    """
+    tables = oracle.cover_tables(frozenset(uncovered))
+    if tables is None:
+        return None
+    if pair_cap is None:
+        by_keyword = {t: list(lst) for t, lst in tables.items()}
+    else:
+        anchor_d = oracle.anchor_d
+        by_keyword = {}
+        for t, lst in tables.items():
+            kept = [i for i in lst if anchor_d[i] <= pair_cap]
+            if not kept:
+                return None
+            by_keyword[t] = kept
+    budget = [node_budget]
+    chosen: List[int] = []
+    if _search_indexed(
+        frozenset(uncovered), by_keyword, chosen, set(), pair_cap, budget, oracle
+    ):
+        return [oracle.objects[i] for i in chosen]
     return None
 
 
@@ -107,6 +157,7 @@ def _search(
     uncovered: FrozenSet[int],
     by_keyword: Dict[int, List[SpatialObject]],
     chosen: List[SpatialObject],
+    chosen_oids: Set[int],
     pair_cap: Optional[float],
     budget: List[int],
 ) -> bool:
@@ -118,17 +169,60 @@ def _search(
     # Branch on the rarest uncovered keyword.
     branch_keyword = min(uncovered, key=lambda t: (len(by_keyword[t]), t))
     for obj in by_keyword[branch_keyword]:
-        if any(o.oid == obj.oid for o in chosen):
+        if obj.oid in chosen_oids:
             continue
         if pair_cap is not None and any(
             obj.location.distance_to(o.location) > pair_cap for o in chosen
         ):
             continue
         chosen.append(obj)
+        chosen_oids.add(obj.oid)
         remaining = uncovered - obj.keywords
-        if _search(remaining, by_keyword, chosen, pair_cap, budget):
+        if _search(remaining, by_keyword, chosen, chosen_oids, pair_cap, budget):
             return True
         chosen.pop()
+        chosen_oids.discard(obj.oid)
+    return False
+
+
+def _search_indexed(
+    uncovered: FrozenSet[int],
+    by_keyword: Dict[int, List[int]],
+    chosen: List[int],
+    chosen_oids: Set[int],
+    pair_cap: Optional[float],
+    budget: List[int],
+    oracle: DistanceOracle,
+) -> bool:
+    """:func:`_search` over candidate *indices* with memoized distances.
+
+    Identical recursion structure (branch keyword, candidate order, cap
+    checks, budget accounting) so the two paths visit the same nodes and
+    return the same cover; only the distance evaluations differ — each
+    is computed at most once per owner instead of once per probe.
+    """
+    if not uncovered:
+        return True
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise CoverBudgetExceeded()
+    branch_keyword = min(uncovered, key=lambda t: (len(by_keyword[t]), t))
+    objects = oracle.objects
+    for idx in by_keyword[branch_keyword]:
+        obj = objects[idx]
+        if obj.oid in chosen_oids:
+            continue
+        if pair_cap is not None and oracle.any_pair_beyond(idx, chosen, pair_cap):
+            continue
+        chosen.append(idx)
+        chosen_oids.add(obj.oid)
+        remaining = uncovered - obj.keywords
+        if _search_indexed(
+            remaining, by_keyword, chosen, chosen_oids, pair_cap, budget, oracle
+        ):
+            return True
+        chosen.pop()
+        chosen_oids.discard(obj.oid)
     return False
 
 

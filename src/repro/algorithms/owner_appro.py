@@ -21,10 +21,12 @@ Feasibility inside the disk is guaranteed: every ``NN(q, t)`` lies within
 
 from __future__ import annotations
 
-from typing import List
+from array import array
+from typing import List, Optional
 
 from repro.algorithms.base import CoSKQAlgorithm
 from repro.geometry.circle import Circle
+from repro.kernels import kernels_enabled, max_distance_from
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -119,22 +121,40 @@ class OwnerRingApproximation(CoSKQAlgorithm):
         index = self.context.index
         disk = Circle(query.location, owner_dist)
         diam_so_far = 0.0
+        # Flat coordinates of the chosen set: the incremental-diameter
+        # update becomes one packed-array kernel call per greedy pick
+        # instead of per-member attribute chasing.  The kernel's maximum
+        # is the same exact hypot value the scalar loop tracks.
+        chosen_xs: Optional[array] = None
+        chosen_ys: Optional[array] = None
+        if kernels_enabled():
+            chosen_xs = array("d", (owner.location.x,))
+            chosen_ys = array("d", (owner.location.y,))
         for _, obj in index.nearest_relevant_iter(
             owner.location, frozenset(uncovered), within=disk
         ):
             covered_now = obj.keywords & uncovered
             if not covered_now:
                 continue
-            for member in chosen:
-                d = member.location.distance_to(obj.location)
+            if chosen_xs is not None:
+                loc = obj.location
+                d = max_distance_from(loc.x, loc.y, chosen_xs, chosen_ys)
                 if d > diam_so_far:
                     diam_so_far = d
+            else:
+                for member in chosen:
+                    d = member.location.distance_to(obj.location)
+                    if d > diam_so_far:
+                        diam_so_far = d
             # The greedy picks are forced; once the partial set already
             # costs at least the incumbent this owner cannot win.
             if self.cost.combine(owner_dist, diam_so_far) >= cost_bound:
                 self._bump("completions_aborted")
                 return None
             chosen.append(obj)
+            if chosen_xs is not None:
+                chosen_xs.append(obj.location.x)
+                chosen_ys.append(obj.location.y)
             uncovered -= covered_now
             if not uncovered:
                 return chosen

@@ -40,7 +40,9 @@ Constructor switches (`seed_with_appro`, `filter_candidates`,
 
 from __future__ import annotations
 
+import bisect
 import math
+from array import array
 from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.base import CoSKQAlgorithm, SearchContext
@@ -48,10 +50,26 @@ from repro.algorithms.cover import CoverBudgetExceeded, find_constrained_cover
 from repro.algorithms.owner_appro import OwnerRingApproximation
 from repro.cost.base import CostFunction, QueryAggregate, pairwise_max_distance
 from repro.geometry.circle import Circle
+from repro.kernels import (
+    DistanceOracle,
+    distances_from,
+    kernels_enabled,
+    lens_gather,
+    lens_lower_bound,
+    pack_objects,
+)
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 
 __all__ = ["OwnerDrivenExact"]
+
+#: Relative early-exit tolerance for the numeric ``combine`` inversions
+#: below.  Both bisections keep a valid bracket invariant at every step
+#: (``hi`` infeasible-side, ``lo`` feasible-side), so exiting once the
+#: bracket width is negligible returns the same conservative endpoint a
+#: fixed 100-iteration loop would — minus the dead iterations where the
+#: bracket can no longer move a pruning decision.
+_BISECTION_TOLERANCE = 1e-12
 
 
 def _pairwise_budget(cost: CostFunction, query_component: float, bound: float) -> float:
@@ -62,22 +80,31 @@ def _pairwise_budget(cost: CostFunction, query_component: float, bound: float) -
     library.  The returned value errs on the generous side, so it is safe
     to use as a pruning radius.
     """
-    if cost.combine(query_component, 0.0) >= bound:
+    combine = cost.combine  # hoisted: the loops below run ~40 iterations
+    if combine(query_component, 0.0) >= bound:
         return -1.0
     hi = max(bound, query_component, 1.0)
     for _ in range(200):
-        if cost.combine(query_component, hi) >= bound:
+        if combine(query_component, hi) >= bound:
             break
         hi *= 2.0
     else:
         return math.inf  # cost ignores the pairwise component
     lo = 0.0
+    # ``hi`` only shrinks below, so a threshold fixed at the initial
+    # bracket is the loosest the per-iteration one ever gets — exiting
+    # against it can only stop earlier, and ``hi`` stays on the generous
+    # side throughout, so no safety is lost (only dead iterations past
+    # the point where (lo+hi)/2 stops moving a pruning decision).
+    tol = _BISECTION_TOLERANCE * (hi if hi > 1.0 else 1.0)
     for _ in range(100):
         mid = (lo + hi) / 2.0
-        if cost.combine(query_component, mid) < bound:
+        if combine(query_component, mid) < bound:
             lo = mid
         else:
             hi = mid
+        if hi - lo <= tol:
+            break
     return hi
 
 
@@ -90,17 +117,24 @@ def _indifferent_cap(cost: CostFunction, query_component: float, pairwise_lb: fl
     fast path).  Computed numerically from ``combine`` so it holds for
     any cost.
     """
-    base = cost.combine(query_component, pairwise_lb)
+    combine = cost.combine
+    base = combine(query_component, pairwise_lb)
     hi = max(query_component, pairwise_lb, 1.0) * 2.0 + 1.0
-    if cost.combine(query_component, hi) <= base:
+    if combine(query_component, hi) <= base:
         return hi
     lo = pairwise_lb
+    # Fixed at the initial bracket (see _pairwise_budget): ``lo`` is
+    # always a certified-indifferent cap, so exiting earlier against the
+    # loosest threshold stays on the conservative side.
+    tol = _BISECTION_TOLERANCE * (hi if hi > 1.0 else 1.0)
     for _ in range(100):
         mid = (lo + hi) / 2.0
-        if cost.combine(query_component, mid) <= base:
+        if combine(query_component, mid) <= base:
             lo = mid
         else:
             hi = mid
+        if hi - lo <= tol:
+            break
     return lo
 
 
@@ -136,11 +170,17 @@ class OwnerDrivenExact(CoSKQAlgorithm):
         self.filter_candidates = filter_candidates
         self.ring_pruning = ring_pruning
         self.cover_node_budget = cover_node_budget
+        #: Per-query memo of the keyword-relevant universe in traversal
+        #: order, with packed coordinates and stored query distances —
+        #: every owner's lens region is carved out of this one list
+        #: instead of re-walking the index (see _lens_candidates).
+        self._lens_cache: Optional[tuple] = None
 
     # -- main loop -----------------------------------------------------------
 
     def solve(self, query: Query) -> CoSKQResult:
         self._reset_counters()
+        self._lens_cache = None  # memo is valid for one query only
         nn = self.context.nn_set(query)
         best: List[SpatialObject] = list(nn.objects)
         best_cost = self._evaluate(query, best)
@@ -188,27 +228,49 @@ class OwnerDrivenExact(CoSKQAlgorithm):
             return None
 
         disk = Circle(query.location, r)
+        packed = None
         if self.filter_candidates and not math.isinf(budget):
             # Candidates live in C(q, r) ∩ C(owner, budget): any farther
             # object would push the pairwise term past the incumbent.
-            candidates = self.context.index.relevant_in_region(
-                [disk, Circle(owner.location, budget)], uncovered
-            )
+            lens = self._lens_candidates(query, owner, r, budget, uncovered)
+            if lens is not None:
+                candidates, packed = lens
+            else:
+                candidates = self.context.index.relevant_in_region(
+                    [disk, Circle(owner.location, budget)], uncovered
+                )
         else:
             candidates = self.context.relevant_in_circle(disk, uncovered)
         self._bump("candidates_scanned", len(candidates))
 
-        lower = self._diameter_lower_bound(owner, uncovered, candidates)
+        # One oracle per owner: the candidate↔owner vector is filled now
+        # (each entry is needed by the first probe's anchor filter), the
+        # candidate pairwise rows fill lazily on first use, and every
+        # bisection probe below reuses both instead of rebuilding them.
+        if kernels_enabled():
+            if packed is not None:
+                oracle = DistanceOracle(owner.location, candidates, *packed)
+            else:
+                oracle = DistanceOracle(owner.location, candidates)
+        else:
+            oracle = None
+
+        lower = self._diameter_lower_bound(owner, uncovered, candidates, oracle)
         if lower is None:
             return None  # some keyword has no candidate near this owner
         if self.cost.combine(r, lower) >= cur_cost:
             return None
 
-        cap_hi = budget if not math.isinf(budget) else max(
-            (owner.location.distance_to(c.location) for c in candidates),
-            default=0.0,
-        ) * 2.0
-        probe = self._probe(uncovered, candidates, owner, cap_hi)
+        if not math.isinf(budget):
+            cap_hi = budget
+        elif oracle is not None:
+            cap_hi = oracle.max_anchor_distance() * 2.0
+        else:
+            cap_hi = max(
+                (owner.location.distance_to(c.location) for c in candidates),
+                default=0.0,
+            ) * 2.0
+        probe = self._probe(uncovered, candidates, owner, cap_hi, oracle)
         if probe is None:
             return None
         best_set, best_diam = probe
@@ -218,7 +280,7 @@ class OwnerDrivenExact(CoSKQAlgorithm):
         # same as the lower bound — one probe settles the owner.
         cap0 = _indifferent_cap(self.cost, r, lower)
         if best_diam > cap0:
-            settled = self._probe(uncovered, candidates, owner, cap0)
+            settled = self._probe(uncovered, candidates, owner, cap0, oracle)
             if settled is not None:
                 best_set, best_diam = settled
             else:
@@ -228,7 +290,7 @@ class OwnerDrivenExact(CoSKQAlgorithm):
                 while hi - lo > tol:
                     self._bump("bisection_probes")
                     mid = (lo + hi) / 2.0
-                    shrunk = self._probe(uncovered, candidates, owner, mid)
+                    shrunk = self._probe(uncovered, candidates, owner, mid, oracle)
                     if shrunk is None:
                         lo = mid
                     else:
@@ -236,12 +298,93 @@ class OwnerDrivenExact(CoSKQAlgorithm):
                         hi = best_diam
         return best_set, self._evaluate(query, best_set)
 
+    def _lens_candidates(
+        self,
+        query: Query,
+        owner: SpatialObject,
+        r: float,
+        budget: float,
+        uncovered: frozenset,
+    ) -> Optional[Tuple[List[SpatialObject], Tuple]]:
+        """Kernel-path replacement for the per-owner region traversal.
+
+        The keyword-relevant universe (in index traversal order, with
+        packed coordinates and stored query distances) is fetched once
+        per query; each owner's ``C(q, r) ∩ C(owner, budget)`` lens is
+        then a flat guarded scan over it.  Because filtering preserves
+        the traversal order and every disk test compares the very same
+        ``math.hypot`` values, the result list is element-for-element
+        identical to ``relevant_in_region([disk, owner_disk], uncovered)``.
+        Returns ``(candidates, (xs, ys, anchor_d))`` — coordinates and
+        exact owner distances are gathered while filtering, so the
+        per-owner :class:`DistanceOracle` neither re-packs nor re-measures
+        them.  None (fall back to the traversal) when the kernels are
+        off or the index does not expose :meth:`relevant_objects`.
+        """
+        if not kernels_enabled():
+            return None
+        cache = self._lens_cache
+        if cache is None:
+            fetch = getattr(self.context.index, "relevant_objects", None)
+            if fetch is None:
+                return None
+            universe = fetch(query.keywords)
+            xs, ys = pack_objects(universe)
+            dq = distances_from(query.location.x, query.location.y, xs, ys)
+            # Universe indices sorted by query distance: a bisect gives
+            # each owner's C(q, r) members without scanning the rest.
+            order = sorted(range(len(universe)), key=dq.__getitem__)
+            sorted_dq = [dq[i] for i in order]
+            # Trace masks: one bit per query keyword, so the per-owner
+            # keyword filter below is a machine-int AND instead of a
+            # frozenset intersection.  ``uncovered ⊆ query.keywords``
+            # always, so a nonzero AND is exactly "shares a keyword
+            # with ``uncovered``".
+            bit = {t: 1 << i for i, t in enumerate(query.keywords)}
+            items = bit.items()
+            masks = []
+            for obj in universe:
+                kws = obj.keywords
+                m = 0
+                for t, b in items:
+                    if t in kws:
+                        m |= b
+                masks.append(m)
+            cache = self._lens_cache = (
+                universe, xs, ys, order, sorted_dq, bit, masks
+            )
+        universe, xs, ys, order, sorted_dq, bit, masks = cache
+        # All i with dq[i] <= r — exactly the query-disk membership test.
+        # The annulus floor (triangle inequality with guard margins) only
+        # drops points certain to fail the exact owner-disk test below.
+        start = bisect.bisect_left(sorted_dq, lens_lower_bound(r, budget))
+        prefix = order[start : bisect.bisect_right(sorted_dq, r)]
+        unc = 0
+        for t in uncovered:
+            unc |= bit[t]
+        loc = owner.location
+        hits, dists = lens_gather(prefix, masks, unc, loc.x, loc.y, xs, ys, budget)
+        # Universe indices are traversal-ordered, so sorting the
+        # surviving indices restores the traversal output order (the
+        # owner distances ride along for the oracle's anchor vector).
+        out: List[SpatialObject] = []
+        cxs = array("d")
+        cys = array("d")
+        anchor_d = array("d")
+        for i, d in sorted(zip(hits, dists)):
+            out.append(universe[i])
+            cxs.append(xs[i])
+            cys.append(ys[i])
+            anchor_d.append(d)
+        return out, (cxs, cys, anchor_d)
+
     def _probe(
         self,
         uncovered: frozenset,
         candidates: List[SpatialObject],
         owner: SpatialObject,
         cap: float,
+        oracle: Optional[DistanceOracle] = None,
     ) -> Optional[Tuple[List[SpatialObject], float]]:
         """Try covering under a diameter cap; return (set, true diameter)."""
         self._bump("cover_probes")
@@ -252,6 +395,7 @@ class OwnerDrivenExact(CoSKQAlgorithm):
                 anchors=[owner],
                 pair_cap=cap,
                 node_budget=self.cover_node_budget,
+                oracle=oracle,
             )
         except CoverBudgetExceeded:
             self._bump("cover_budget_exceeded")
@@ -259,13 +403,18 @@ class OwnerDrivenExact(CoSKQAlgorithm):
         if cover is None:
             return None
         full = [owner] + cover
-        return full, pairwise_max_distance(full)
+        if oracle is not None:
+            diam = oracle.diameter_with_anchor([oracle.index_of(o) for o in cover])
+        else:
+            diam = pairwise_max_distance(full)
+        return full, diam
 
     @staticmethod
     def _diameter_lower_bound(
         owner: SpatialObject,
         uncovered: frozenset,
         candidates: List[SpatialObject],
+        oracle: Optional[DistanceOracle] = None,
     ) -> Optional[float]:
         """``max_t min_{candidate covering t} d(candidate, owner)``.
 
@@ -274,9 +423,13 @@ class OwnerDrivenExact(CoSKQAlgorithm):
         ``owner`` has a smaller diameter.  None when some keyword has no
         candidate at all.
         """
+        anchor_d = oracle.anchor_d if oracle is not None else None
         best_per_keyword: Dict[int, float] = {}
-        for cand in candidates:
-            d = owner.location.distance_to(cand.location)
+        for i, cand in enumerate(candidates):
+            if anchor_d is not None:
+                d = anchor_d[i]
+            else:
+                d = owner.location.distance_to(cand.location)
             for t in cand.keywords & uncovered:
                 cur = best_per_keyword.get(t)
                 if cur is None or d < cur:

@@ -36,6 +36,7 @@ _DEFAULT_INCLUDE: Dict[str, Tuple[str, ...]] = {
         "repro/algorithms/",
         "repro/cost/",
         "repro/geometry/",
+        "repro/kernels/",
         "repro/network/",
     ),
     # Typed-abort rule: solver code must raise the CoSKQError taxonomy,
@@ -49,6 +50,12 @@ _DEFAULT_INCLUDE: Dict[str, Tuple[str, ...]] = {
     "R7": (
         "repro/algorithms/",
         "repro/network/",
+    ),
+    # One distance definition: solver hot loops route distance math
+    # through repro.geometry / repro.kernels instead of inlining it.
+    "R8": (
+        "repro/algorithms/",
+        "repro/cost/",
     ),
 }
 

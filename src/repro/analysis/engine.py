@@ -27,6 +27,7 @@ from repro.analysis.rules import (
     check_r5,
     check_r6,
     check_r7,
+    check_r8,
     parse_noqa,
 )
 
@@ -257,6 +258,8 @@ def run_analysis(
         for violation in check_r6(module, config):
             raw.append((module, violation))
         for violation in check_r7(module, config):
+            raw.append((module, violation))
+        for violation in check_r8(module, config):
             raw.append((module, violation))
 
     used_noqa: Set[Tuple[str, int]] = set()

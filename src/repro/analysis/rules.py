@@ -23,7 +23,12 @@ and the suppression mechanism (``# repro: noqa(RX)``).  The rules:
   (``self.context.index = ...``, ``algo.index._cache[k] = v``).  The
   memoizing cache layer (:mod:`repro.index.cache`) and the cross-query
   result cache are only sound because solvers treat the index as
-  read-only; this rule pins that assumption.
+  read-only; this rule pins that assumption;
+- **R8** — solver hot-loop code (``repro/algorithms/``, ``repro/cost/``)
+  does not inline ``hypot``/``sqrt`` distance math: distances route
+  through :mod:`repro.geometry` or :mod:`repro.kernels`, keeping one
+  auditably exact distance definition (all-constant calls such as the
+  ``sqrt(3)`` ratio literals are exempt).
 
 Rules are pure functions from parsed module/project structure to
 :class:`Violation` streams; the engine (see :mod:`repro.analysis.engine`)
@@ -55,6 +60,7 @@ __all__ = [
     "check_r5",
     "check_r6",
     "check_r7",
+    "check_r8",
 ]
 
 #: One-line summaries, used by ``--list-rules`` and the docs test.
@@ -66,6 +72,7 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R5": "every solve() override calls self._reset_counters() first",
     "R6": "no bare RuntimeError in solver code; raise the typed taxonomy",
     "R7": "solver code never mutates shared context/index state",
+    "R8": "no inline hypot/sqrt distance math in solver code; use geometry/kernels",
     "NOQA": "suppression comment suppresses nothing (reported with --strict)",
 }
 
@@ -544,6 +551,48 @@ def check_r6(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
                 "CoSKQError (e.g. repro.errors.BudgetExceededError) so the "
                 "resilience layer can degrade instead of dying",
             )
+
+
+# -- R8: one distance definition -----------------------------------------------
+
+#: Call targets that compute Euclidean distances when fed live operands.
+_R8_DISTANCE_CALLS = frozenset({"hypot", "sqrt"})
+
+
+def check_r8(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
+    """No inline ``hypot``/``sqrt`` distance math in solver hot loops.
+
+    The bit-identity story of the flat-array kernels
+    (:mod:`repro.kernels`) rests on there being exactly one distance
+    definition: ``math.hypot`` as wrapped by :mod:`repro.geometry` and
+    :mod:`repro.kernels`.  A solver that inlines its own
+    ``math.sqrt(dx*dx + dy*dy)`` silently forks that definition — it
+    rounds differently from ``hypot`` and bypasses the kernels' guarded
+    fast paths, so the differential suites stop being able to vouch for
+    it.  Scoped by default to ``repro/algorithms/`` and ``repro/cost/``.
+
+    Calls whose arguments are all literal constants (``math.sqrt(3.0)``
+    — the paper's approximation-ratio constants) are not distance math
+    and are exempt.
+    """
+    if not config.applies_to("R8", module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        term = _terminal_identifier(node.func)
+        if term not in _R8_DISTANCE_CALLS:
+            continue
+        if node.args and all(isinstance(a, ast.Constant) for a in node.args):
+            continue
+        yield Violation(
+            "R8",
+            module.relpath,
+            node.lineno,
+            "inline %s() distance math in solver code; route through "
+            "repro.geometry or repro.kernels so there is a single exact "
+            "distance definition" % (term,),
+        )
 
 
 # -- R7: shared search state is read-only --------------------------------------

@@ -20,6 +20,7 @@ from abc import ABC, abstractmethod
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.geometry.point import Point
+from repro.kernels import flat as _flat
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 
@@ -61,10 +62,23 @@ class Combiner(enum.Enum):
         return max(query_component, pairwise_component)
 
 
+#: Below this set size the quadratic scan beats packing coordinates into
+#: arrays first; CoSKQ result sets (≤ |q.ψ| members) usually sit under it.
+_PACK_THRESHOLD = 8
+
+
 def pairwise_max_distance(objects: Sequence[SpatialObject]) -> float:
-    """The diameter ``max_{o1,o2∈S} d(o1, o2)`` (0 for singleton sets)."""
-    best = 0.0
+    """The diameter ``max_{o1,o2∈S} d(o1, o2)`` (0 for singleton sets).
+
+    Large sets route through :func:`repro.kernels.flat.pairwise_max`,
+    which is bit-identical to this scan (guarded squared-distance skip;
+    every returned value is a plain ``math.hypot``).
+    """
     n = len(objects)
+    if n >= _PACK_THRESHOLD and _flat.kernels_enabled():
+        xs, ys = _flat.pack_objects(objects)
+        return _flat.pairwise_max(xs, ys)
+    best = 0.0
     for i in range(n):
         loc_i = objects[i].location
         for j in range(i + 1, n):

@@ -42,14 +42,19 @@ class _WeightedAdd(CostFunction):
         if not 0.0 < alpha <= 1.0:
             raise InvalidParameterError("alpha must be in (0, 1], got %r" % (alpha,))
         self.alpha = alpha
+        # Hoisted out of combine(): the owner search's numeric combine
+        # inversions call it tens of thousands of times per query, and
+        # alpha never changes after construction.
+        self._alpha_is_one = float_eq(alpha, 1.0)
+        self._beta = 1.0 - alpha
 
     def combine(self, query_component: float, pairwise_component: float) -> float:
-        if float_eq(self.alpha, 1.0):
+        if self._alpha_is_one:
             return query_component
         # The paper fixes alpha = 0.5 and drops the common factor, which
         # preserves the ranking of candidate sets; we keep the weighted
         # form so other alphas remain expressible.
-        return self.alpha * query_component + (1.0 - self.alpha) * pairwise_component
+        return self.alpha * query_component + self._beta * pairwise_component
 
 
 class MaxSumCost(_WeightedAdd):

@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Tuple
 
+from repro.kernels import flat as _flat
+
 __all__ = [
     "Point",
     "distance",
@@ -97,15 +99,24 @@ def centroid(points: Iterable[Point]) -> Point:
     return Point(xs / n, ys / n)
 
 
+#: Below this size the scalar quadratic scan beats packing coordinates
+#: first; CoSKQ result sets (≤ |q.ψ| members) usually sit under it.
+_PACK_THRESHOLD = 8
+
+
 def diameter(points: Sequence[Point]) -> float:
     """The maximum pairwise distance of ``points`` (0.0 for fewer than 2).
 
     Quadratic scan; the CoSKQ result sets this is applied to have at most
     ``|q.psi|`` members, so a convex-hull rotating-calipers pass would be
-    slower in practice.
+    slower in practice.  Larger inputs route through the bit-identical
+    flat-array kernel (:func:`repro.kernels.flat.pairwise_max`).
     """
-    best = 0.0
     n = len(points)
+    if n >= _PACK_THRESHOLD and _flat.kernels_enabled():
+        xs, ys = _flat.pack_points(points)
+        return _flat.pairwise_max(xs, ys)
+    best = 0.0
     for i in range(n):
         pi = points[i]
         for j in range(i + 1, n):
@@ -119,10 +130,14 @@ def farthest_pair(points: Sequence[Point]) -> Tuple[int, int, float]:
     """Indices and distance of the farthest pair of ``points``.
 
     Returns ``(i, j, d)`` with ``i < j``; ``(0, 0, 0.0)`` when fewer than
-    two points are given.
+    two points are given.  Ties resolve to the first strict improvement
+    in scan order — preserved exactly by the kernel fast path.
     """
-    besti, bestj, best = 0, 0, 0.0
     n = len(points)
+    if n >= _PACK_THRESHOLD and _flat.kernels_enabled():
+        xs, ys = _flat.pack_points(points)
+        return _flat.farthest_pair(xs, ys)
+    besti, bestj, best = 0, 0, 0.0
     for i in range(n):
         pi = points[i]
         for j in range(i + 1, n):

@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from array import array
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import InfeasibleQueryError
@@ -30,6 +31,8 @@ from repro.geometry.circle import Circle
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, _pack_upward, _str_tiles  # noqa: F401
+from repro.kernels import cap_bands, kernels_enabled
+from repro.utils.floatcmp import EPSILON as _ZERO_EPS
 from repro.model.dataset import Dataset
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
@@ -41,9 +44,14 @@ class IRTreeNode:
     """One IR-tree node: MBR + subtree keyword union.
 
     Leaf nodes store objects directly; internal nodes store children.
+    Leaves additionally keep their entry coordinates packed into
+    parallel ``array('d')`` columns (``xs``/``ys``, rebuilt alongside
+    the other summaries) so range and nearest scans run on flat doubles
+    with a guarded squared-distance early exit instead of chasing
+    ``obj.location`` per entry — see ``docs/PERFORMANCE.md``.
     """
 
-    __slots__ = ("is_leaf", "objects", "children", "mbr", "keywords")
+    __slots__ = ("is_leaf", "objects", "children", "mbr", "keywords", "xs", "ys")
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
@@ -51,12 +59,14 @@ class IRTreeNode:
         self.children: List["IRTreeNode"] = []
         self.mbr: Optional[MBR] = None
         self.keywords: Set[int] = set()
+        self.xs: array = array("d")
+        self.ys: array = array("d")
 
     def entry_count(self) -> int:
         return len(self.objects) if self.is_leaf else len(self.children)
 
     def recompute_summaries(self) -> None:
-        """Rebuild this node's MBR and keyword union from its entries."""
+        """Rebuild this node's MBR, keyword union and coordinate columns."""
         self.keywords = set()
         if self.is_leaf:
             self.mbr = (
@@ -66,6 +76,8 @@ class IRTreeNode:
             )
             for obj in self.objects:
                 self.keywords.update(obj.keywords)
+            self.xs = array("d", (o.location.x for o in self.objects))
+            self.ys = array("d", (o.location.y for o in self.objects))
         else:
             rects = [c.mbr for c in self.children if c.mbr is not None]
             self.mbr = MBR.union_all(rects) if rects else None
@@ -182,6 +194,13 @@ class IRTree:
             )
         w_center = within.center if within is not None else None
         w_radius = within.radius if within is not None else 0.0
+        use_flat = kernels_enabled()
+        px = point.x
+        py = point.y
+        if w_center is not None:
+            wx = w_center.x
+            wy = w_center.y
+            w_lo2, w_hi2, w_fast = cap_bands(w_radius)
         while heap:
             dist, _, is_object, item = heapq.heappop(heap)
             if is_object:
@@ -189,6 +208,29 @@ class IRTree:
                 continue
             node: IRTreeNode = item  # type: ignore[assignment]
             if node.is_leaf:
+                if use_flat:
+                    # Packed-column scan: the window test decides most
+                    # entries from the squared distance alone, and the
+                    # heap key is the same exact hypot the scalar path
+                    # computes — just without the attribute chasing.
+                    xs = node.xs
+                    ys = node.ys
+                    for i, obj in enumerate(node.objects):
+                        if obj.keywords.isdisjoint(keywords):
+                            continue
+                        if w_center is not None:
+                            dx = wx - xs[i]
+                            dy = wy - ys[i]
+                            sq = dx * dx + dy * dy
+                            if w_fast and sq > w_hi2:
+                                continue
+                            if (not w_fast or sq >= w_lo2) and math.hypot(
+                                dx, dy
+                            ) > w_radius:
+                                continue
+                        d = math.hypot(px - xs[i], py - ys[i])
+                        heapq.heappush(heap, (d, next(counter), True, obj))
+                    continue
                 for obj in node.objects:
                     if obj.keywords.isdisjoint(keywords):
                         continue
@@ -202,6 +244,57 @@ class IRTree:
             else:
                 for child in node.children:
                     if child.mbr is None or child.keywords.isdisjoint(keywords):
+                        continue
+                    if use_flat:
+                        # Inlined min_distance: same clamped-offset
+                        # branch structure as MBR.min_distance (offsets
+                        # are non-negative, so ``<= _ZERO_EPS`` is
+                        # exactly floatcmp.is_zero()).  The window test
+                        # is decision-guarded; the heap key is the exact
+                        # min_distance value.
+                        mbr = child.mbr
+                        if w_center is not None:
+                            dx = 0.0
+                            if wx < mbr.min_x:
+                                dx = mbr.min_x - wx
+                            elif wx > mbr.max_x:
+                                dx = wx - mbr.max_x
+                            dy = 0.0
+                            if wy < mbr.min_y:
+                                dy = mbr.min_y - wy
+                            elif wy > mbr.max_y:
+                                dy = wy - mbr.max_y
+                            if dx <= _ZERO_EPS:
+                                if dy > w_radius:
+                                    continue
+                            elif dy <= _ZERO_EPS:
+                                if dx > w_radius:
+                                    continue
+                            else:
+                                sq = dx * dx + dy * dy
+                                if w_fast and sq > w_hi2:
+                                    continue
+                                if (not w_fast or sq >= w_lo2) and math.hypot(
+                                    dx, dy
+                                ) > w_radius:
+                                    continue
+                        dx = 0.0
+                        if px < mbr.min_x:
+                            dx = mbr.min_x - px
+                        elif px > mbr.max_x:
+                            dx = px - mbr.max_x
+                        dy = 0.0
+                        if py < mbr.min_y:
+                            dy = mbr.min_y - py
+                        elif py > mbr.max_y:
+                            dy = py - mbr.max_y
+                        if dx <= _ZERO_EPS:
+                            key = dy
+                        elif dy <= _ZERO_EPS:
+                            key = dx
+                        else:
+                            key = math.hypot(dx, dy)
+                        heapq.heappush(heap, (key, next(counter), False, child))
                         continue
                     if (
                         w_center is not None
@@ -276,14 +369,41 @@ class IRTree:
             return out
         center = circle.center
         radius = circle.radius
+        use_flat = kernels_enabled()
+        cx = center.x
+        cy = center.y
+        lo2, hi2, fast = cap_bands(radius)
         stack = [self.root]
         while stack:
             node = stack.pop()
             if node.mbr is None or node.keywords.isdisjoint(keywords):
                 continue
-            if not circle.intersects_mbr(node.mbr):
+            if use_flat:
+                if _mbr_beyond(node.mbr, cx, cy, radius, lo2, hi2, fast):
+                    continue
+            elif not circle.intersects_mbr(node.mbr):
                 continue
             if node.is_leaf:
+                if use_flat:
+                    # Guarded squared-distance scan over the packed
+                    # columns; only band-ambiguous entries pay a hypot.
+                    xs = node.xs
+                    ys = node.ys
+                    for i, obj in enumerate(node.objects):
+                        if obj.keywords.isdisjoint(keywords):
+                            continue
+                        dx = cx - xs[i]
+                        dy = cy - ys[i]
+                        sq = dx * dx + dy * dy
+                        if fast:
+                            if sq < lo2:
+                                out.append(obj)
+                                continue
+                            if sq > hi2:
+                                continue
+                        if math.hypot(dx, dy) <= radius:
+                            out.append(obj)
+                    continue
                 for obj in node.objects:
                     if (
                         not obj.keywords.isdisjoint(keywords)
@@ -306,18 +426,125 @@ class IRTree:
         out: List[SpatialObject] = []
         if self.root.mbr is None or not circles:
             return out
+        use_flat = kernels_enabled()
+        if use_flat:
+            # Guard bands per disk: (cx, cy, radius, lo2, hi2, fast).
+            bands = [
+                (c.center.x, c.center.y, c.radius, *cap_bands(c.radius))
+                for c in circles
+            ]
         stack = [self.root]
         while stack:
             node = stack.pop()
             if node.mbr is None or node.keywords.isdisjoint(keywords):
                 continue
-            if any(node.mbr.min_distance(c.center) > c.radius for c in circles):
+            if use_flat:
+                # Inlined MBR/disk prune, decision-identical to
+                # ``mbr.min_distance(center) > radius``: the clamped
+                # offsets are non-negative, so ``<= _ZERO_EPS`` is
+                # exactly floatcmp.is_zero(), and the hypot branch is
+                # decided from the squared distance where the guard band
+                # makes that conclusive.
+                mbr = node.mbr
+                pruned = False
+                for cx, cy, rr, lo2, hi2, fast in bands:
+                    dx = 0.0
+                    if cx < mbr.min_x:
+                        dx = mbr.min_x - cx
+                    elif cx > mbr.max_x:
+                        dx = cx - mbr.max_x
+                    dy = 0.0
+                    if cy < mbr.min_y:
+                        dy = mbr.min_y - cy
+                    elif cy > mbr.max_y:
+                        dy = cy - mbr.max_y
+                    if dx <= _ZERO_EPS:
+                        md = dy
+                    elif dy <= _ZERO_EPS:
+                        md = dx
+                    else:
+                        sq = dx * dx + dy * dy
+                        if fast:
+                            if sq < lo2:
+                                continue  # provably min_distance < radius
+                            if sq > hi2:
+                                pruned = True
+                                break
+                        md = math.hypot(dx, dy)
+                    if md > rr:
+                        pruned = True
+                        break
+                if pruned:
+                    continue
+            elif any(node.mbr.min_distance(c.center) > c.radius for c in circles):
                 continue
             if node.is_leaf:
+                if use_flat:
+                    # Disks that contain the whole leaf MBR need no
+                    # per-object test: correctly rounded subtraction and
+                    # hypot are monotone, so ``max_distance <= radius``
+                    # implies every member object passes its exact
+                    # ``hypot <= radius`` check.
+                    live = [
+                        b
+                        for b in bands
+                        if not _mbr_within(node.mbr, b[0], b[1], b[2], b[3], b[4], b[5])
+                    ]
+                    if not live:
+                        for obj in node.objects:
+                            if not obj.keywords.isdisjoint(keywords):
+                                out.append(obj)
+                        continue
+                    xs = node.xs
+                    ys = node.ys
+                    for i, obj in enumerate(node.objects):
+                        if obj.keywords.isdisjoint(keywords):
+                            continue
+                        inside = True
+                        for cx, cy, rr, lo2, hi2, fast in live:
+                            dx = cx - xs[i]
+                            dy = cy - ys[i]
+                            sq = dx * dx + dy * dy
+                            if fast:
+                                if sq < lo2:
+                                    continue
+                                if sq > hi2:
+                                    inside = False
+                                    break
+                            if math.hypot(dx, dy) > rr:
+                                inside = False
+                                break
+                        if inside:
+                            out.append(obj)
+                    continue
                 for obj in node.objects:
                     if obj.keywords.isdisjoint(keywords):
                         continue
                     if all(c.contains(obj.location) for c in circles):
+                        out.append(obj)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def relevant_objects(self, keywords: FrozenSet[int]) -> List[SpatialObject]:
+        """Every object carrying any keyword of ``keywords``.
+
+        Same stack discipline (and therefore the same output order) as
+        :meth:`relevant_in_region` minus the spatial pruning: filtering
+        this list by the disk tests reproduces a region query's result
+        list element-for-element, which is what lets the owner-driven
+        search memoize one keyword-relevant universe per query and carve
+        per-owner lens regions out of it with the flat kernels.
+        """
+        out: List[SpatialObject] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or node.keywords.isdisjoint(keywords):
+                continue
+            if node.is_leaf:
+                for obj in node.objects:
+                    if not obj.keywords.isdisjoint(keywords):
                         out.append(obj)
             else:
                 stack.extend(node.children)
@@ -330,12 +557,37 @@ class IRTree:
             return out
         center = circle.center
         radius = circle.radius
+        use_flat = kernels_enabled()
+        cx = center.x
+        cy = center.y
+        lo2, hi2, fast = cap_bands(radius)
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.mbr is None or not circle.intersects_mbr(node.mbr):
+            if node.mbr is None:
+                continue
+            if use_flat:
+                if _mbr_beyond(node.mbr, cx, cy, radius, lo2, hi2, fast):
+                    continue
+            elif not circle.intersects_mbr(node.mbr):
                 continue
             if node.is_leaf:
+                if use_flat:
+                    xs = node.xs
+                    ys = node.ys
+                    for i, obj in enumerate(node.objects):
+                        dx = cx - xs[i]
+                        dy = cy - ys[i]
+                        sq = dx * dx + dy * dy
+                        if fast:
+                            if sq < lo2:
+                                out.append(obj)
+                                continue
+                            if sq > hi2:
+                                continue
+                        if math.hypot(dx, dy) <= radius:
+                            out.append(obj)
+                    continue
                 for obj in node.objects:
                     if center.distance_to(obj.location) <= radius:
                         out.append(obj)
@@ -369,6 +621,77 @@ class IRTree:
 
 
 # -- helpers ------------------------------------------------------------------
+
+
+def _mbr_beyond(
+    mbr: MBR,
+    cx: float,
+    cy: float,
+    radius: float,
+    lo2: float,
+    hi2: float,
+    fast: bool,
+) -> bool:
+    """Decision-identical to ``mbr.min_distance(Point(cx, cy)) > radius``.
+
+    One call instead of the ``intersects_mbr`` → ``min_distance`` →
+    ``is_zero`` chain: the clamped offsets are non-negative, so
+    ``<= _ZERO_EPS`` reproduces :func:`repro.utils.floatcmp.is_zero`
+    exactly, and the hypot branch is decided from the squared distance
+    wherever the guard band (``lo2``/``hi2`` from :func:`cap_bands`)
+    makes that conclusive.
+    """
+    dx = 0.0
+    if cx < mbr.min_x:
+        dx = mbr.min_x - cx
+    elif cx > mbr.max_x:
+        dx = cx - mbr.max_x
+    dy = 0.0
+    if cy < mbr.min_y:
+        dy = mbr.min_y - cy
+    elif cy > mbr.max_y:
+        dy = cy - mbr.max_y
+    if dx <= _ZERO_EPS:
+        return dy > radius
+    if dy <= _ZERO_EPS:
+        return dx > radius
+    sq = dx * dx + dy * dy
+    if fast:
+        if sq < lo2:
+            return False
+        if sq > hi2:
+            return True
+    return math.hypot(dx, dy) > radius
+
+
+def _mbr_within(
+    mbr: MBR,
+    cx: float,
+    cy: float,
+    radius: float,
+    lo2: float,
+    hi2: float,
+    fast: bool,
+) -> bool:
+    """Whether the closed disk certainly contains the whole rectangle.
+
+    Decision-identical to ``mbr.max_distance(Point(cx, cy)) <= radius``
+    (same operations, guarded by the squared distance where conclusive).
+    Soundness of skipping per-object tests on a True result: correctly
+    rounded subtraction is monotone, so every member offset is bounded
+    by the corner offsets, and correctly rounded ``hypot`` is monotone
+    in both magnitudes — hence every member's exact distance value is
+    ``<= max_distance <= radius``.
+    """
+    dxm = max(abs(cx - mbr.min_x), abs(cx - mbr.max_x))
+    dym = max(abs(cy - mbr.min_y), abs(cy - mbr.max_y))
+    sq = dxm * dxm + dym * dym
+    if fast:
+        if sq < lo2:
+            return True
+        if sq > hi2:
+            return False
+    return math.hypot(dxm, dym) <= radius
 
 
 def _sort_key(obj: SpatialObject) -> Tuple[float, float, int]:
@@ -416,9 +739,16 @@ def _check_ir_node(node: IRTreeNode, max_entries: int, is_root: bool) -> int:
         assert node.entry_count() >= 1, "empty non-root node"
     if node.is_leaf:
         expected: Set[int] = set()
-        for obj in node.objects:
+        assert len(node.xs) == len(node.objects), "stale leaf x column"
+        assert len(node.ys) == len(node.objects), "stale leaf y column"
+        for i, obj in enumerate(node.objects):
             expected.update(obj.keywords)
             assert node.mbr is not None and node.mbr.contains_point(obj.location)
+            # Exact mirror check: the packed columns must hold the very
+            # same doubles as the object locations.
+            assert node.xs[i] == obj.location.x and node.ys[i] == obj.location.y, (
+                "leaf coordinate column diverges from object locations"
+            )
         assert node.keywords == expected, "stale leaf keyword summary"
         return len(node.objects)
     total = 0

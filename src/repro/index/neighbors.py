@@ -61,6 +61,10 @@ class LinearScanIndex:
             and all(c.contains(o.location) for c in circles)
         ]
 
+    def relevant_objects(self, keywords: FrozenSet[int]) -> List[SpatialObject]:
+        """Every object carrying any keyword of ``keywords`` (scan order)."""
+        return [o for o in self._objects if not o.keywords.isdisjoint(keywords)]
+
     def keyword_nn(
         self, point: Point, keyword_id: int
     ) -> Optional[Tuple[float, SpatialObject]]:

@@ -17,11 +17,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from array import array
 from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.geometry.circle import Circle
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
+from repro.kernels import cap_bands, kernels_enabled
 
 __all__ = ["RTree", "RTreeNode", "DEFAULT_MAX_ENTRIES"]
 
@@ -35,9 +37,15 @@ class RTreeNode(Generic[T]):
 
     Leaf nodes keep parallel lists ``points``/``payloads``; internal nodes
     keep ``children``.  ``mbr`` always tightly bounds the subtree.
+
+    Leaves additionally mirror entry coordinates into packed double
+    arrays ``xs``/``ys`` (struct-of-arrays) so leaf distance scans read
+    contiguous doubles instead of chasing ``Point`` attributes.  The
+    columns hold exactly the same doubles as ``points`` — every distance
+    computed from them is bit-identical to the scalar path.
     """
 
-    __slots__ = ("is_leaf", "points", "payloads", "children", "mbr")
+    __slots__ = ("is_leaf", "points", "payloads", "children", "mbr", "xs", "ys")
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
@@ -45,6 +53,8 @@ class RTreeNode(Generic[T]):
         self.payloads: List[T] = []
         self.children: List["RTreeNode[T]"] = []
         self.mbr: Optional[MBR] = None
+        self.xs: array = array("d")
+        self.ys: array = array("d")
 
     def entry_count(self) -> int:
         return len(self.points) if self.is_leaf else len(self.children)
@@ -52,6 +62,8 @@ class RTreeNode(Generic[T]):
     def recompute_mbr(self) -> None:
         if self.is_leaf:
             self.mbr = MBR.from_points(self.points) if self.points else None
+            self.xs = array("d", (p.x for p in self.points))
+            self.ys = array("d", (p.y for p in self.points))
         else:
             rects = [c.mbr for c in self.children if c.mbr is not None]
             self.mbr = MBR.union_all(rects) if rects else None
@@ -113,6 +125,10 @@ class RTree(Generic[T]):
         if node.is_leaf:
             node.points.append(point)
             node.payloads.append(payload)
+            # extend_mbr below skips the full recompute, so the packed
+            # columns must be appended in lockstep here.
+            node.xs.append(point.x)
+            node.ys.append(point.y)
             node.extend_mbr(point_rect)
             if len(node.points) > self.max_entries:
                 return self._split_leaf(node)
@@ -164,11 +180,32 @@ class RTree(Generic[T]):
         stack = [self.root]
         radius = circle.radius
         center = circle.center
+        use_flat = kernels_enabled()
+        cx, cy = center.x, center.y
+        lo2, hi2, fast = cap_bands(radius)
         while stack:
             node = stack.pop()
             if node.mbr is None or not circle.intersects_mbr(node.mbr):
                 continue
             if node.is_leaf:
+                if use_flat:
+                    # Packed-column scan: squared distance classifies
+                    # conclusively outside the guard band; the ambiguous
+                    # sliver falls back to the exact hypot test.
+                    xs, ys, payloads = node.xs, node.ys, node.payloads
+                    for i in range(len(xs)):
+                        dx = cx - xs[i]
+                        dy = cy - ys[i]
+                        sq = dx * dx + dy * dy
+                        if fast:
+                            if sq < lo2:
+                                out.append(payloads[i])
+                                continue
+                            if sq > hi2:
+                                continue
+                        if math.hypot(dx, dy) <= radius:
+                            out.append(payloads[i])
+                    continue
                 # Non-squared distance, matching MBR min_distance exactly.
                 for point, payload in zip(node.points, node.payloads):
                     if center.distance_to(point) <= radius:
@@ -203,6 +240,16 @@ class RTree(Generic[T]):
                 continue
             node: RTreeNode[T] = item
             if node.is_leaf:
+                if kernels_enabled():
+                    px, py = point.x, point.y
+                    xs, ys = node.xs, node.ys
+                    points, payloads = node.points, node.payloads
+                    for i in range(len(xs)):
+                        d = math.hypot(px - xs[i], py - ys[i])
+                        heapq.heappush(
+                            heap, (d, next(counter), True, (points[i], payloads[i]))
+                        )
+                    continue
                 for entry_point, payload in zip(node.points, node.payloads):
                     d = point.distance_to(entry_point)
                     heapq.heappush(
@@ -358,6 +405,12 @@ def _check_node(node: RTreeNode[T], max_entries: int, is_root: bool) -> int:
         if node.points:
             rect = MBR.from_points(node.points)
             assert node.mbr is not None and node.mbr.contains(rect), "loose leaf MBR"
+        assert len(node.xs) == len(node.points), "stale leaf x column"
+        assert len(node.ys) == len(node.points), "stale leaf y column"
+        for i, p in enumerate(node.points):
+            assert node.xs[i] == p.x and node.ys[i] == p.y, (
+                "leaf coordinate column diverges from points"
+            )
         return len(node.points)
     total = 0
     for child in node.children:

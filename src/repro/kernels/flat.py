@@ -1,0 +1,381 @@
+"""Flat struct-of-arrays distance kernels (stdlib ``array('d')`` only).
+
+Hot loops across the solvers and the indexes pay two overheads the
+paper's C++ never did: per-pair attribute chasing (``obj.location.x``)
+and a correctly rounded ``math.hypot`` per comparison even when a cheap
+squared-distance bound already decides the comparison.  The kernels in
+this module operate on packed coordinate arrays and use a *guarded*
+squared-distance fast path that is provably **bit-identical** to the
+naive ``math.hypot`` loops they replace:
+
+- ``dx*dx + dy*dy`` has relative error at most ``3·2⁻⁵³`` (two exact-ish
+  products and one addition, each correctly rounded), while
+  ``math.hypot`` is correctly rounded.  So a squared comparison against
+  a band of relative width ``1e-9`` — seven orders of magnitude wider
+  than the arithmetic error — classifies a pair *conclusively* on either
+  side of the band, and only pairs falling inside the band (or at
+  non-normal magnitudes, where relative-error analysis breaks down) fall
+  back to the exact ``math.hypot`` comparison the naive code performs.
+- Running maxima (:func:`pairwise_max`, :func:`max_distance_from`,
+  :func:`farthest_pair`) skip a pair only when its squared distance
+  proves the exact distance cannot *strictly* improve the incumbent,
+  which preserves both the returned value and the naive loop's
+  first-strict-improvement tie-breaking.
+
+Every distance this module ever *returns* is a plain ``math.hypot``
+value — the single distance definition of :mod:`repro.geometry.point` —
+so downstream comparisons see exactly the floats the scalar code
+produced.  See ``docs/PERFORMANCE.md`` for the full soundness argument.
+
+This module is the sanctioned home for inline ``math.hypot`` distance
+math; solver modules are barred from it by lint rule R8
+(``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from array import array
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "kernels_enabled",
+    "set_enabled",
+    "pack_points",
+    "pack_objects",
+    "distances_from",
+    "max_distance_from",
+    "pairwise_max",
+    "farthest_pair",
+    "any_beyond",
+    "lens_lower_bound",
+    "lens_gather",
+    "select_within_indices",
+    "select_within",
+    "cap_bands",
+]
+
+#: Relative guard band around a squared-distance threshold.  Pairs whose
+#: squared distance lands outside ``[t²·(1-ε), t²·(1+ε)]`` are decided
+#: without computing the exact distance; the band is ~10⁷ times wider
+#: than the worst-case arithmetic error, so the classification is sound.
+_GUARD_LO = 1.0 - 1e-9
+_GUARD_HI = 1.0 + 1e-9
+
+#: Below this magnitude a squared distance may be subnormal and the
+#: relative-error argument above no longer applies; such comparisons
+#: take the exact path.  (See the denormal note in
+#: :meth:`repro.geometry.circle.Circle.contains`.)
+_NORMAL_FLOOR = 1e-300
+
+#: Module-level override for the environment toggle; None means
+#: "follow the environment".
+_FORCED: Optional[bool] = None
+
+#: Environment variable controlling the kernels fast paths.  Read per
+#: call (cheap) rather than at import, and env-based rather than a
+#: module global alone, so the setting propagates into forked parallel
+#: workers (:mod:`repro.parallel`) without extra plumbing.
+_ENV_VAR = "REPRO_KERNELS"
+
+_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+
+
+def kernels_enabled() -> bool:
+    """Whether the flat-array fast paths are active (default: yes).
+
+    Disabled by ``REPRO_KERNELS=0`` (or ``false``/``no``/``off``) or by
+    :func:`set_enabled`.  The kernels are bit-identical to the scalar
+    code they replace, so this switch exists for the differential test
+    suite and for benchmarking the speedup honestly — not for safety.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(_ENV_VAR, "1").strip().lower() not in _FALSE_VALUES
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force the toggle (True/False) or restore env control (None)."""
+    global _FORCED
+    _FORCED = value
+
+
+# -- packing -------------------------------------------------------------------
+
+
+def pack_points(points: Iterable) -> Tuple[array, array]:
+    """Pack an iterable of points into parallel ``(xs, ys)`` arrays."""
+    xs = array("d")
+    ys = array("d")
+    for p in points:
+        xs.append(p.x)
+        ys.append(p.y)
+    return xs, ys
+
+
+def pack_objects(objects: Iterable) -> Tuple[array, array]:
+    """Pack spatial objects (``obj.location``) into ``(xs, ys)`` arrays."""
+    xs = array("d")
+    ys = array("d")
+    for o in objects:
+        loc = o.location
+        xs.append(loc.x)
+        ys.append(loc.y)
+    return xs, ys
+
+
+# -- guard-band plumbing --------------------------------------------------------
+
+
+def _improvement_guard(best: float) -> float:
+    """Squared threshold below which no pair can strictly beat ``best``.
+
+    Returns ``-1.0`` (forcing the exact path for every pair) when the
+    squared incumbent is non-normal or infinite, where the relative
+    error bound does not hold.
+    """
+    g = best * best * _GUARD_LO
+    if g > _NORMAL_FLOOR and not math.isinf(g):
+        return g
+    return -1.0
+
+
+def cap_bands(cap: float) -> Tuple[float, float, bool]:
+    """``(lo2, hi2, fast)`` guard bands for comparisons against ``cap``.
+
+    When ``fast`` is true, a squared distance below ``lo2`` proves the
+    exact distance is ``< cap`` and one above ``hi2`` proves it is
+    ``> cap``; anything between (or when ``fast`` is false) must use the
+    exact ``math.hypot`` comparison.
+    """
+    c2 = cap * cap
+    if c2 > _NORMAL_FLOOR and not math.isinf(c2):
+        return c2 * _GUARD_LO, c2 * _GUARD_HI, True
+    return 0.0, 0.0, False
+
+
+# -- kernels --------------------------------------------------------------------
+
+
+def distances_from(x: float, y: float, xs: Sequence[float], ys: Sequence[float]) -> array:
+    """Exact distances from ``(x, y)`` to every packed point.
+
+    No guard bands here: the results are *stored* (oracle rows, heap
+    keys), so each entry is the correctly rounded ``math.hypot`` value
+    the scalar code would have produced.
+    """
+    hypot = math.hypot
+    return array("d", [hypot(x - a, y - b) for a, b in zip(xs, ys)])
+
+
+def max_distance_from(x: float, y: float, xs: Sequence[float], ys: Sequence[float]) -> float:
+    """``max_i hypot((x,y) - (xs[i], ys[i]))`` (0.0 for empty input)."""
+    best = 0.0
+    guard = -1.0
+    for i in range(len(xs)):
+        dx = x - xs[i]
+        dy = y - ys[i]
+        if dx * dx + dy * dy > guard:
+            d = math.hypot(dx, dy)
+            if d > best:
+                best = d
+                guard = _improvement_guard(best)
+    return best
+
+
+def pairwise_max(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The diameter of the packed point set (0.0 below two points).
+
+    Bit-identical to the quadratic ``math.hypot`` scan: a pair is
+    skipped only when its squared distance proves the exact distance
+    cannot strictly exceed the incumbent maximum.
+    """
+    best = 0.0
+    guard = -1.0
+    n = len(xs)
+    for i in range(n):
+        xi = xs[i]
+        yi = ys[i]
+        for j in range(i + 1, n):
+            dx = xi - xs[j]
+            dy = yi - ys[j]
+            if dx * dx + dy * dy > guard:
+                d = math.hypot(dx, dy)
+                if d > best:
+                    best = d
+                    guard = _improvement_guard(best)
+    return best
+
+
+def farthest_pair(xs: Sequence[float], ys: Sequence[float]) -> Tuple[int, int, float]:
+    """Indices and distance of the farthest packed pair.
+
+    Same contract as :func:`repro.geometry.point.farthest_pair`:
+    ``(i, j, d)`` with ``i < j``, first-strict-improvement tie-break,
+    ``(0, 0, 0.0)`` below two points.
+    """
+    besti, bestj, best = 0, 0, 0.0
+    guard = -1.0
+    n = len(xs)
+    for i in range(n):
+        xi = xs[i]
+        yi = ys[i]
+        for j in range(i + 1, n):
+            dx = xi - xs[j]
+            dy = yi - ys[j]
+            if dx * dx + dy * dy > guard:
+                d = math.hypot(dx, dy)
+                if d > best:
+                    besti, bestj, best = i, j, d
+                    guard = _improvement_guard(best)
+    return besti, bestj, best
+
+
+def any_beyond(
+    x: float,
+    y: float,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    cap: float,
+) -> bool:
+    """Whether any packed point lies strictly farther than ``cap``.
+
+    Equivalent to ``any(hypot(...) > cap for ...)`` including NaN/inf
+    semantics (those magnitudes take the exact path).
+    """
+    lo2, hi2, fast = cap_bands(cap)
+    for i in range(len(xs)):
+        dx = x - xs[i]
+        dy = y - ys[i]
+        sq = dx * dx + dy * dy
+        if fast:
+            if sq < lo2:
+                continue
+            if sq > hi2:
+                return True
+        if math.hypot(dx, dy) > cap:
+            return True
+    return False
+
+
+def lens_lower_bound(r: float, budget: float) -> float:
+    """Conservative floor on the query distance of any lens member.
+
+    For the lens ``C(q, r) ∩ C(owner, budget)`` with the owner at stored
+    query distance ``r``: by the triangle inequality any true lens
+    member satisfies ``d(o, q) >= d(owner, q) - d(o, owner) >= r -
+    budget``.  The bound is computed on *stored* (correctly rounded)
+    distances with the module's relative guard margins, so a point whose
+    stored query distance falls below it is guaranteed to fail the exact
+    ``hypot(o, owner) <= budget`` test — skipping it can never change
+    membership.  Clamped to 0.0 (no pruning) when the margin-widened
+    difference is not positive.
+    """
+    lo = (r * _GUARD_LO - budget * _GUARD_HI) / _GUARD_HI
+    return lo if lo > 0.0 else 0.0
+
+
+def lens_gather(
+    indices: Iterable[int],
+    masks: Sequence[int],
+    want: int,
+    cx: float,
+    cy: float,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    cap: float,
+) -> Tuple[List[int], array]:
+    """Masked disk selection that also returns the exact distances.
+
+    For each candidate index, keep it when ``masks[i] & want`` is
+    nonzero (it carries a wanted keyword bit) **and** its packed point
+    lies in the closed disk ``hypot((cx, cy) - p_i) <= cap``.  Returns
+    ``(kept_indices, distances)`` in input order, where ``distances[k]``
+    is the correctly rounded ``math.hypot`` center distance of
+    ``kept_indices[k]`` — the value a later scalar ``distance_to`` call
+    would produce, so callers (the per-owner :class:`DistanceOracle`)
+    can store it instead of recomputing.  Membership decisions are
+    exactly :func:`select_within`'s: the guarded squared test only
+    skips the ``hypot`` where rejection is already certain; accepted
+    points always pay the one ``hypot`` their stored distance needs.
+    """
+    lo2, hi2, fast = cap_bands(cap)
+    out: List[int] = []
+    dists = array("d")
+    hypot = math.hypot
+    for i in indices:
+        if not masks[i] & want:
+            continue
+        dx = cx - xs[i]
+        dy = cy - ys[i]
+        if fast and dx * dx + dy * dy > hi2:
+            continue
+        d = hypot(dx, dy)
+        if d <= cap:
+            out.append(i)
+            dists.append(d)
+    return out, dists
+
+
+def select_within_indices(
+    indices: Iterable[int],
+    cx: float,
+    cy: float,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    cap: float,
+) -> List[int]:
+    """Subset of ``indices`` whose packed point lies in the closed disk.
+
+    Gather-flavoured :func:`select_within`: the caller has already
+    narrowed the candidate indices (e.g. a bisect prefix over stored
+    query distances) and only the disk test ``hypot((cx, cy) - p_i) <=
+    cap`` remains.  Membership is decided exactly as in
+    :func:`select_within`; the output preserves the input index order.
+    """
+    lo2, hi2, fast = cap_bands(cap)
+    out: List[int] = []
+    for i in indices:
+        dx = cx - xs[i]
+        dy = cy - ys[i]
+        sq = dx * dx + dy * dy
+        if fast:
+            if sq < lo2:
+                out.append(i)
+                continue
+            if sq > hi2:
+                continue
+        if math.hypot(dx, dy) <= cap:
+            out.append(i)
+    return out
+
+
+def select_within(
+    cx: float,
+    cy: float,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    radius: float,
+) -> List[int]:
+    """Indices of packed points inside the closed disk around ``(cx, cy)``.
+
+    Matches ``center.distance_to(p) <= radius`` exactly; the guarded
+    squared comparison only skips the ``hypot`` where the outcome is
+    already certain.
+    """
+    lo2, hi2, fast = cap_bands(radius)
+    out: List[int] = []
+    for i in range(len(xs)):
+        dx = cx - xs[i]
+        dy = cy - ys[i]
+        sq = dx * dx + dy * dy
+        if fast:
+            if sq < lo2:
+                out.append(i)
+                continue
+            if sq > hi2:
+                continue
+        if math.hypot(dx, dy) <= radius:
+            out.append(i)
+    return out

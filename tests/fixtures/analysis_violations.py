@@ -65,3 +65,12 @@ class QuietAlgo(CoSKQAlgorithm):  # expect: R1
 
     def solve(self, query):  # repro: noqa(R5) — suppression must be honored
         return cache_lookup(query)
+
+
+def inline_distance(ax, ay, bx, by):
+    dx = ax - bx
+    dy = ay - by
+    direct = math.hypot(dx, dy)  # expect: R8
+    rolled = math.sqrt(dx * dx + dy * dy)  # expect: R8
+    ratio = math.sqrt(3.0)  # all-constant args: ratio literal, not distance math
+    return direct + rolled + ratio

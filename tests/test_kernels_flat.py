@@ -1,0 +1,354 @@
+"""Property suite for the flat-array distance kernels (repro.kernels).
+
+Every kernel claims *bit-identity* with the naive ``math.hypot`` scan it
+replaces — not approximate agreement, exact float equality — because the
+solvers compare and store the values the kernels return.  The reference
+implementations here are deliberately the dumbest possible scalar loops;
+Hypothesis drives both through shared random geometry, including
+coordinates chosen to land pairs inside the guard band where the
+squared-distance fast path must defer to the exact comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import make_random_instance
+from repro.cost.base import pairwise_max_distance
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.index.neighbors import LinearScanIndex
+from repro.kernels import flat
+from repro.kernels.flat import (
+    any_beyond,
+    cap_bands,
+    distances_from,
+    farthest_pair,
+    lens_gather,
+    lens_lower_bound,
+    max_distance_from,
+    pack_objects,
+    pack_points,
+    pairwise_max,
+    select_within,
+    select_within_indices,
+)
+from repro.kernels.oracle import DistanceOracle
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=0, max_size=24)
+caps = st.floats(0.0, 3e6, allow_nan=False, allow_infinity=False)
+
+
+def _pack(pts):
+    xs = array("d", (p[0] for p in pts))
+    ys = array("d", (p[1] for p in pts))
+    return xs, ys
+
+
+# -- naive references ----------------------------------------------------------
+
+
+def naive_pairwise_max(pts):
+    best = 0.0
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            d = math.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
+            if d > best:
+                best = d
+    return best
+
+
+def naive_farthest(pts):
+    besti, bestj, best = 0, 0, 0.0
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            d = math.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
+            if d > best:
+                besti, bestj, best = i, j, d
+    return besti, bestj, best
+
+
+def naive_max_from(x, y, pts):
+    best = 0.0
+    for a, b in pts:
+        d = math.hypot(x - a, y - b)
+        if d > best:
+            best = d
+    return best
+
+
+def naive_select(cx, cy, pts, radius):
+    return [
+        i
+        for i, (a, b) in enumerate(pts)
+        if math.hypot(cx - a, cy - b) <= radius
+    ]
+
+
+def naive_any_beyond(x, y, pts, cap):
+    return any(math.hypot(x - a, y - b) > cap for a, b in pts)
+
+
+# -- kernels vs references -----------------------------------------------------
+
+
+class TestKernelBitIdentity:
+    @given(pts=point_lists)
+    def test_pairwise_max(self, pts):
+        xs, ys = _pack(pts)
+        assert pairwise_max(xs, ys) == naive_pairwise_max(pts)
+
+    @given(pts=point_lists)
+    def test_farthest_pair(self, pts):
+        xs, ys = _pack(pts)
+        assert farthest_pair(xs, ys) == naive_farthest(pts)
+
+    @given(pts=point_lists, c=st.tuples(coords, coords))
+    def test_max_distance_from(self, pts, c):
+        xs, ys = _pack(pts)
+        assert max_distance_from(c[0], c[1], xs, ys) == naive_max_from(
+            c[0], c[1], pts
+        )
+
+    @given(pts=point_lists, c=st.tuples(coords, coords))
+    def test_distances_from(self, pts, c):
+        xs, ys = _pack(pts)
+        got = distances_from(c[0], c[1], xs, ys)
+        assert list(got) == [
+            math.hypot(c[0] - a, c[1] - b) for a, b in pts
+        ]
+
+    @given(pts=point_lists, c=st.tuples(coords, coords), cap=caps)
+    def test_select_within(self, pts, c, cap):
+        xs, ys = _pack(pts)
+        assert select_within(c[0], c[1], xs, ys, cap) == naive_select(
+            c[0], c[1], pts, cap
+        )
+
+    @given(pts=point_lists, c=st.tuples(coords, coords), cap=caps)
+    def test_any_beyond(self, pts, c, cap):
+        xs, ys = _pack(pts)
+        assert any_beyond(c[0], c[1], xs, ys, cap) == naive_any_beyond(
+            c[0], c[1], pts, cap
+        )
+
+    @given(pts=st.lists(st.tuples(coords, coords), min_size=1, max_size=24),
+           c=st.tuples(coords, coords), data=st.data())
+    def test_select_within_indices_preserves_order(self, pts, c, data):
+        xs, ys = _pack(pts)
+        indices = data.draw(
+            st.lists(st.integers(0, len(pts) - 1), max_size=30)
+        )
+        cap = data.draw(caps)
+        got = select_within_indices(indices, c[0], c[1], xs, ys, cap)
+        want = [
+            i
+            for i in indices
+            if math.hypot(c[0] - xs[i], c[1] - ys[i]) <= cap
+        ]
+        assert got == want
+
+    @given(pts=point_lists, c=st.tuples(coords, coords))
+    def test_on_band_distances_decide_exactly(self, pts, c):
+        """Caps equal to a realized distance sit inside the guard band."""
+        xs, ys = _pack(pts)
+        for a, b in pts[:4]:
+            cap = math.hypot(c[0] - a, c[1] - b)
+            assert select_within(c[0], c[1], xs, ys, cap) == naive_select(
+                c[0], c[1], pts, cap
+            )
+            assert any_beyond(c[0], c[1], xs, ys, cap) == naive_any_beyond(
+                c[0], c[1], pts, cap
+            )
+
+
+class TestLensKernels:
+    @given(pts=st.lists(st.tuples(coords, coords), min_size=1, max_size=24),
+           c=st.tuples(coords, coords), data=st.data())
+    def test_lens_gather_matches_masked_select(self, pts, c, data):
+        xs, ys = _pack(pts)
+        masks = data.draw(
+            st.lists(st.integers(0, 7), min_size=len(pts), max_size=len(pts))
+        )
+        want = data.draw(st.integers(0, 7))
+        indices = data.draw(st.lists(st.integers(0, len(pts) - 1), max_size=30))
+        cap = data.draw(caps)
+        got_idx, got_d = lens_gather(
+            indices, masks, want, c[0], c[1], xs, ys, cap
+        )
+        want_idx = [
+            i
+            for i in indices
+            if masks[i] & want
+            and math.hypot(c[0] - xs[i], c[1] - ys[i]) <= cap
+        ]
+        assert got_idx == want_idx
+        assert list(got_d) == [
+            math.hypot(c[0] - xs[i], c[1] - ys[i]) for i in got_idx
+        ]
+
+    @given(pts=point_lists, owner=st.tuples(coords, coords),
+           q=st.tuples(coords, coords), budget=caps)
+    def test_lens_lower_bound_never_drops_a_member(self, pts, owner, q, budget):
+        """dq below the floor certifies the owner-disk test fails."""
+        r = math.hypot(q[0] - owner[0], q[1] - owner[1])
+        floor = lens_lower_bound(r, budget)
+        for a, b in pts:
+            dq = math.hypot(q[0] - a, q[1] - b)
+            if dq < floor:
+                assert math.hypot(owner[0] - a, owner[1] - b) > budget
+
+    @given(cap=caps)
+    def test_cap_bands_bracket_the_threshold(self, cap):
+        lo2, hi2, fast = cap_bands(cap)
+        if fast:
+            assert lo2 <= cap * cap <= hi2
+
+
+# -- packing -------------------------------------------------------------------
+
+
+class TestPacking:
+    def test_pack_points_roundtrip(self):
+        pts = [Point(1.5, -2.0), Point(0.0, 7.25)]
+        xs, ys = pack_points(pts)
+        assert list(xs) == [1.5, 0.0]
+        assert list(ys) == [-2.0, 7.25]
+
+    def test_pack_objects_uses_locations(self):
+        dataset, _, _ = make_random_instance(17, num_objects=40)
+        xs, ys = pack_objects(dataset.objects)
+        assert list(xs) == [o.location.x for o in dataset.objects]
+        assert list(ys) == [o.location.y for o in dataset.objects]
+
+
+# -- the toggle ----------------------------------------------------------------
+
+
+class TestToggle:
+    def test_set_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        flat.set_enabled(False)
+        try:
+            assert not flat.kernels_enabled()
+            flat.set_enabled(True)
+            assert flat.kernels_enabled()
+        finally:
+            flat.set_enabled(None)
+
+    def test_env_values(self, monkeypatch):
+        assert flat._FORCED is None
+        for value, expected in [
+            ("0", False), ("false", False), ("off", False), ("no", False),
+            ("1", True), ("yes", True), ("", True),
+        ]:
+            monkeypatch.setenv("REPRO_KERNELS", value)
+            assert flat.kernels_enabled() is expected, value
+        monkeypatch.delenv("REPRO_KERNELS")
+        assert flat.kernels_enabled()
+
+
+# -- the distance oracle -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def oracle_instance():
+    dataset, _, _ = make_random_instance(29, num_objects=30, vocab=8)
+    anchor = dataset.objects[0]
+    candidates = dataset.objects[1:]
+    return anchor, candidates, DistanceOracle(anchor.location, candidates)
+
+
+class TestDistanceOracle:
+    def test_anchor_distances_are_exact(self, oracle_instance):
+        anchor, candidates, oracle = oracle_instance
+        for i, cand in enumerate(candidates):
+            assert oracle.anchor_d[i] == anchor.location.distance_to(
+                cand.location
+            )
+
+    def test_pair_distance_matches_scalar(self, oracle_instance):
+        _, candidates, oracle = oracle_instance
+        for i in range(0, len(candidates), 5):
+            for j in range(0, len(candidates), 7):
+                want = candidates[i].location.distance_to(candidates[j].location)
+                assert oracle.pair_distance(i, j) == want
+                assert oracle.pair_distance(j, i) == want
+
+    def test_rows_are_memoized(self, oracle_instance):
+        _, _, oracle = oracle_instance
+        assert oracle.row(3) is oracle.row(3)
+
+    def test_diameter_with_anchor_equals_pairwise_max(self, oracle_instance):
+        anchor, candidates, oracle = oracle_instance
+        indices = [0, 4, 9, 17]
+        want = pairwise_max_distance([anchor] + [candidates[i] for i in indices])
+        assert oracle.diameter_with_anchor(indices) == want
+
+    def test_max_anchor_distance(self, oracle_instance):
+        anchor, candidates, oracle = oracle_instance
+        assert oracle.max_anchor_distance() == max(
+            anchor.location.distance_to(c.location) for c in candidates
+        )
+
+    def test_any_pair_beyond(self, oracle_instance):
+        _, candidates, oracle = oracle_instance
+        row = [candidates[0].location.distance_to(c.location) for c in candidates]
+        cap = sorted(row)[len(row) // 2]
+        want = any(row[j] > cap for j in (1, 2, 3))
+        assert oracle.any_pair_beyond(0, (1, 2, 3), cap) == want
+
+    def test_prepacked_construction_is_equivalent(self, oracle_instance):
+        anchor, candidates, oracle = oracle_instance
+        xs, ys = pack_objects(candidates)
+        pre = DistanceOracle(
+            anchor.location, candidates, xs, ys, array("d", oracle.anchor_d)
+        )
+        assert list(pre.anchor_d) == list(oracle.anchor_d)
+        assert pre.diameter_with_anchor([2, 6, 11]) == oracle.diameter_with_anchor(
+            [2, 6, 11]
+        )
+        assert pre.index_of(candidates[5]) == oracle.index_of(candidates[5])
+
+
+# -- index-side order contracts ------------------------------------------------
+
+
+class TestRelevantObjectsContract:
+    """relevant_objects must enumerate in region-traversal order.
+
+    The solver's lens memo carves every per-owner candidate list out of
+    the relevant universe by pure filtering, so the universe's order must
+    be exactly the order ``relevant_in_region`` would emit — otherwise
+    the kernels-on candidate lists (and therefore the tie-breaking of
+    downstream scans) would silently diverge from the kernels-off path.
+    """
+
+    @pytest.mark.parametrize("seed", [41, 42])
+    def test_filtering_universe_reproduces_region_query(self, seed):
+        dataset, context, queries = make_random_instance(seed, num_objects=60)
+        index = context.index
+        for query in queries:
+            universe = index.relevant_objects(query.keywords)
+            assert all(
+                not o.keywords.isdisjoint(query.keywords) for o in universe
+            )
+            for radius in (0.1, 0.25, 0.6):
+                circle = Circle(query.location, radius)
+                want = index.relevant_in_region([circle], query.keywords)
+                got = [o for o in universe if circle.contains(o.location)]
+                assert [o.oid for o in got] == [o.oid for o in want]
+
+    def test_linear_scan_agrees_with_irtree_as_a_set(self):
+        dataset, context, queries = make_random_instance(43, num_objects=50)
+        linear = LinearScanIndex.build(dataset)
+        for query in queries:
+            a = {o.oid for o in context.index.relevant_objects(query.keywords)}
+            b = {o.oid for o in linear.relevant_objects(query.keywords)}
+            assert a == b

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.geometry",
     "repro.model",
     "repro.index",
+    "repro.kernels",
     "repro.cost",
     "repro.algorithms",
     "repro.data",
