@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint check chaos parallel-check parallel-bench kernels-check kernels-bench bench bench-reports figures full-experiments clean
+.PHONY: install test lint check chaos parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
@@ -8,7 +8,7 @@ install:
 test:
 	pytest tests/
 
-# Repo-specific static analysis (rules R1-R8; docs/STATIC_ANALYSIS.md).
+# Repo-specific static analysis (rules R1-R9; docs/STATIC_ANALYSIS.md).
 lint:
 	PYTHONPATH=src python -m repro.analysis --strict
 
@@ -47,6 +47,20 @@ kernels-bench:
 		from repro.bench import experiments; \
 		experiments.KERNELS_JSON_PATH = pathlib.Path('BENCH_kernels.json'); \
 		print(experiments.run_experiment('kernels_study', quick=True))"
+
+# The signatures gate: mask/set bijection properties, the three-backend
+# index parity suite, and the solver differential suite proving
+# signatures on/off bit-identity (docs/PERFORMANCE.md).
+signatures-check:
+	PYTHONPATH=src python -m pytest -q tests/test_signatures.py \
+		tests/test_index_parity.py tests/test_signatures_differential.py
+
+# Regenerate BENCH_signatures.json (quick-scale signatures_study).
+signatures-bench:
+	PYTHONPATH=src python -c "import pathlib; \
+		from repro.bench import experiments; \
+		experiments.SIGNATURES_JSON_PATH = pathlib.Path('BENCH_signatures.json'); \
+		print(experiments.run_experiment('signatures_study', quick=True))"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,63 @@
+"""The keyword-signature speedup, measured honestly (docs/PERFORMANCE.md).
+
+Times the owner-driven solvers with the signatures forced off and
+forced on over the same prebuilt index and queries, asserting the two
+modes return bit-identical answers before any timing is trusted, plus
+the ``signatures_study`` report artifact.  ``make signatures-bench``
+writes the same study to ``BENCH_signatures.json``.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, queries_for, run_workload, write_report
+from repro.algorithms.owner_exact import OwnerDrivenExact
+from repro.bench.experiments import run_experiment
+from repro.cost.functions import cost_by_name
+from repro.index import signatures
+
+K = 9
+
+
+@pytest.mark.parametrize("mode", ["frozensets", "signatures"])
+@pytest.mark.parametrize("cost_name", ["maxsum", "dia"])
+def test_owner_exact_by_mode(benchmark, hotel_context, mode, cost_name):
+    queries = queries_for(hotel_context.dataset, K)
+    algorithm = OwnerDrivenExact(hotel_context, cost_by_name(cost_name))
+
+    def timed():
+        signatures.set_enabled(mode == "signatures")
+        try:
+            return run_workload(algorithm, queries)
+        finally:
+            signatures.set_enabled(None)
+
+    results = benchmark.pedantic(timed, rounds=3, iterations=1)
+    assert all(r.is_feasible_for(q) for r, q in zip(results, queries))
+
+
+@pytest.mark.parametrize("cost_name", ["maxsum", "dia"])
+def test_modes_are_bit_identical(hotel_context, cost_name):
+    queries = queries_for(hotel_context.dataset, K)
+    algorithm = OwnerDrivenExact(hotel_context, cost_by_name(cost_name))
+    outcomes = {}
+    for enabled in (False, True):
+        signatures.set_enabled(enabled)
+        try:
+            outcomes[enabled] = [
+                (r.cost, tuple(sorted(o.oid for o in r.objects)))
+                for r in run_workload(algorithm, queries)
+            ]
+        finally:
+            signatures.set_enabled(None)
+    assert outcomes[False] == outcomes[True]
+
+
+def test_signatures_study_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("signatures_study",),
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1,
+    )
+    write_report("signatures_study", report)
+    assert "bit-identical" in report

@@ -22,6 +22,7 @@ from repro.geometry.circle import Circle
 from repro.index.inverted import InvertedIndex
 from repro.index.irtree import IRTree
 from repro.index.protocol import SpatialTextIndex
+from repro.index.signatures import shared_keywords
 from repro.model.dataset import Dataset
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
@@ -232,7 +233,7 @@ def minimal_subset(
     for obj in instances:
         group_size[obj.oid] = group_size.get(obj.oid, 0) + 1
         contribution = group_counts.setdefault(obj.oid, {})
-        for t in obj.keywords & query.keywords:
+        for t in shared_keywords(obj.keywords, query.keywords):
             counts[t] += 1
             contribution[t] = contribution.get(t, 0) + 1
     if any(count == 0 for count in counts.values()):

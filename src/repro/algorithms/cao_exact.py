@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.algorithms.base import CoSKQAlgorithm
 from repro.cost.base import QueryAggregate
 from repro.errors import BudgetExceededError
+from repro.index.signatures import covers_all, shared_keywords
 from repro.kernels import kernels_enabled, max_distance_from
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
@@ -79,7 +80,7 @@ class _State:
                     new_diam = d
         return _State(
             chosen=self.chosen + (obj,),
-            covered=self.covered | (obj.keywords & query_keywords),
+            covered=self.covered | shared_keywords(obj.keywords, query_keywords),
             qdist_sum=self.qdist_sum + qdist,
             qdist_max=max(self.qdist_max, qdist),
             qdist_min=min(self.qdist_min, qdist),
@@ -123,7 +124,7 @@ class BranchBoundExact(CoSKQAlgorithm):
         }
         by_keyword: Dict[int, List[SpatialObject]] = {t: [] for t in query.keywords}
         for obj in relevant:
-            for t in obj.keywords & query.keywords:
+            for t in shared_keywords(obj.keywords, query.keywords):
                 by_keyword[t].append(obj)
         for lst in by_keyword.values():
             lst.sort(key=lambda o: (qdist[o.oid], o.oid))
@@ -144,7 +145,7 @@ class BranchBoundExact(CoSKQAlgorithm):
             lb, _, state = heapq.heappop(heap)
             if lb >= incumbent_cost:
                 break  # best-first: nothing later can beat the incumbent
-            if state.covered >= query.keywords:
+            if covers_all(query.keywords, state.covered):
                 candidate = list(state.chosen)
                 cost_value = self._evaluate(query, candidate)
                 if cost_value < incumbent_cost:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.index.signatures import bits_of, mask_of, shared_keywords, signatures_enabled
 from repro.kernels.oracle import DistanceOracle
 from repro.model.objects import SpatialObject
 
@@ -73,6 +74,13 @@ def find_constrained_cover(
         return None
     budget = [node_budget]
     chosen: List[SpatialObject] = []
+    if signatures_enabled():
+        # Bitmask twin of ``_search``: same branch keyword, candidate
+        # order, cap checks and budget accounting — the uncovered-set
+        # bookkeeping just runs on integer masks.
+        if _search_masked(mask_of(uncovered), by_keyword, chosen, set(), pair_cap, budget):
+            return list(chosen)
+        return None
     if _search(frozenset(uncovered), by_keyword, chosen, set(), pair_cap, budget):
         return list(chosen)
     return None
@@ -108,6 +116,19 @@ def _find_cover_with_oracle(
             by_keyword[t] = kept
     budget = [node_budget]
     chosen: List[int] = []
+    if signatures_enabled():
+        if _search_indexed_masked(
+            mask_of(frozenset(uncovered)),
+            by_keyword,
+            chosen,
+            set(),
+            pair_cap,
+            budget,
+            oracle,
+            oracle.keyword_masks(),
+        ):
+            return [oracle.objects[i] for i in chosen]
+        return None
     if _search_indexed(
         frozenset(uncovered), by_keyword, chosen, set(), pair_cap, budget, oracle
     ):
@@ -130,9 +151,35 @@ def _candidates_by_keyword(
     """
     anchor_locations = [a.location for a in anchors]
     by_keyword: Dict[int, List[SpatialObject]] = {t: [] for t in uncovered}
+    if signatures_enabled():
+        # Mask traces: the dedup key carries the trace bitmask instead of
+        # the trace frozenset (a bijection, so the same candidates are
+        # kept) and richness is a popcount instead of a set-len.
+        u_mask = mask_of(uncovered)
+        seen_mask_traces: set[Tuple[float, float, int]] = set()
+        for obj in candidates:
+            trace_mask = mask_of(obj.keywords) & u_mask
+            if not trace_mask:
+                continue
+            if pair_cap is not None and any(
+                obj.location.distance_to(loc) > pair_cap for loc in anchor_locations
+            ):
+                continue
+            key = (obj.location.x, obj.location.y, trace_mask)
+            if key in seen_mask_traces:
+                continue
+            seen_mask_traces.add(key)
+            for t in bits_of(trace_mask):
+                by_keyword[t].append(obj)
+        for t, lst in by_keyword.items():
+            if not lst:
+                return None
+            # Richer candidates first: maximizes coverage per branch.
+            lst.sort(key=lambda o: (-(mask_of(o.keywords) & u_mask).bit_count(), o.oid))
+        return by_keyword
     seen_traces: set[Tuple[float, float, FrozenSet[int]]] = set()
     for obj in candidates:
-        trace = obj.keywords & uncovered
+        trace = obj.keywords & uncovered  # repro: noqa(R9) — toggle-off baseline
         if not trace:
             continue
         if pair_cap is not None and any(
@@ -149,7 +196,7 @@ def _candidates_by_keyword(
         if not lst:
             return None
         # Richer candidates first: maximizes coverage per branch.
-        lst.sort(key=lambda o: (-len(o.keywords & uncovered), o.oid))
+        lst.sort(key=lambda o: (-len(o.keywords & uncovered), o.oid))  # repro: noqa(R9) — toggle-off baseline
     return by_keyword
 
 
@@ -179,6 +226,45 @@ def _search(
         chosen_oids.add(obj.oid)
         remaining = uncovered - obj.keywords
         if _search(remaining, by_keyword, chosen, chosen_oids, pair_cap, budget):
+            return True
+        chosen.pop()
+        chosen_oids.discard(obj.oid)
+    return False
+
+
+def _search_masked(
+    uncovered_mask: int,
+    by_keyword: Dict[int, List[SpatialObject]],
+    chosen: List[SpatialObject],
+    chosen_oids: Set[int],
+    pair_cap: Optional[float],
+    budget: List[int],
+) -> bool:
+    """:func:`_search` with the uncovered set carried as a bitmask.
+
+    The branch keyword minimizes ``(len(by_keyword[t]), t)``, which has a
+    unique minimum regardless of iteration order, so branching matches
+    the set-based search bit for bit; ``uncovered - obj.keywords``
+    becomes ``mask & ~obj_mask``.  Node visits, candidate order and
+    budget accounting are identical.
+    """
+    if not uncovered_mask:
+        return True
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise CoverBudgetExceeded()
+    branch_keyword = min(bits_of(uncovered_mask), key=lambda t: (len(by_keyword[t]), t))
+    for obj in by_keyword[branch_keyword]:
+        if obj.oid in chosen_oids:
+            continue
+        if pair_cap is not None and any(
+            obj.location.distance_to(o.location) > pair_cap for o in chosen
+        ):
+            continue
+        chosen.append(obj)
+        chosen_oids.add(obj.oid)
+        remaining = uncovered_mask & ~mask_of(obj.keywords)
+        if _search_masked(remaining, by_keyword, chosen, chosen_oids, pair_cap, budget):
             return True
         chosen.pop()
         chosen_oids.discard(obj.oid)
@@ -226,6 +312,47 @@ def _search_indexed(
     return False
 
 
+def _search_indexed_masked(
+    uncovered_mask: int,
+    by_keyword: Dict[int, List[int]],
+    chosen: List[int],
+    chosen_oids: Set[int],
+    pair_cap: Optional[float],
+    budget: List[int],
+    oracle: DistanceOracle,
+    masks: Sequence[int],
+) -> bool:
+    """:func:`_search_indexed` with bitmask uncovered-set bookkeeping.
+
+    ``masks`` are the oracle's per-candidate keyword masks, indexed like
+    ``oracle.objects``.  Same recursion structure, candidate order, cap
+    checks and budget accounting as the set-based twin.
+    """
+    if not uncovered_mask:
+        return True
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise CoverBudgetExceeded()
+    branch_keyword = min(bits_of(uncovered_mask), key=lambda t: (len(by_keyword[t]), t))
+    objects = oracle.objects
+    for idx in by_keyword[branch_keyword]:
+        obj = objects[idx]
+        if obj.oid in chosen_oids:
+            continue
+        if pair_cap is not None and oracle.any_pair_beyond(idx, chosen, pair_cap):
+            continue
+        chosen.append(idx)
+        chosen_oids.add(obj.oid)
+        remaining = uncovered_mask & ~masks[idx]
+        if _search_indexed_masked(
+            remaining, by_keyword, chosen, chosen_oids, pair_cap, budget, oracle, masks
+        ):
+            return True
+        chosen.pop()
+        chosen_oids.discard(obj.oid)
+    return False
+
+
 def iter_covers(
     keywords: FrozenSet[int],
     candidates: Sequence[SpatialObject],
@@ -239,7 +366,7 @@ def iter_covers(
     """
     by_keyword: Dict[int, List[SpatialObject]] = {t: [] for t in keywords}
     for obj in candidates:
-        for t in obj.keywords & keywords:
+        for t in shared_keywords(obj.keywords, keywords):
             by_keyword[t].append(obj)
     if any(not lst for lst in by_keyword.values()):
         return

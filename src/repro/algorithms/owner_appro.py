@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.algorithms.base import CoSKQAlgorithm
 from repro.geometry.circle import Circle
+from repro.index.signatures import mask_of, pack_masks, signatures_enabled
 from repro.kernels import kernels_enabled, max_distance_from
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
@@ -45,7 +46,6 @@ def greedy_completion_near(
     least one still-uncovered keyword.  Returns the chosen objects, or
     None when the candidates cannot cover everything.
     """
-    remaining = set(uncovered)
     chosen: List[SpatialObject] = []
     # One sort up front; each pass consumes the next useful candidate.
     ordered = sorted(
@@ -53,12 +53,33 @@ def greedy_completion_near(
         key=lambda o: (anchor.location.distance_to(o.location), o.oid),
     )
     taken = [False] * len(ordered)
+    if signatures_enabled():
+        # Mask twin: "covers a still-uncovered keyword" is a nonzero AND
+        # and consuming the coverage is ``&= ~covered`` — same picks.
+        remaining_mask = mask_of(uncovered)
+        masks = pack_masks(ordered)
+        while remaining_mask:
+            progressed = False
+            for i, obj in enumerate(ordered):
+                if taken[i]:
+                    continue
+                covered_mask = masks[i] & remaining_mask
+                if covered_mask:
+                    taken[i] = True
+                    chosen.append(obj)
+                    remaining_mask &= ~covered_mask
+                    progressed = True
+                    break
+            if not progressed:
+                return None
+        return chosen
+    remaining = set(uncovered)
     while remaining:
         progressed = False
         for i, obj in enumerate(ordered):
             if taken[i]:
                 continue
-            covered_now = obj.keywords & remaining
+            covered_now = obj.keywords & remaining  # repro: noqa(R9) — toggle-off baseline
             if covered_now:
                 taken[i] = True
                 chosen.append(obj)
@@ -111,6 +132,8 @@ class OwnerRingApproximation(CoSKQAlgorithm):
         uncovered = set(query.keywords - owner.keywords)
         if not uncovered:
             return [owner]
+        use_sig = signatures_enabled()
+        u_mask = mask_of(frozenset(uncovered)) if use_sig else 0
         # Greedy nearest-to-owner completion in a single disk-pruned walk:
         # objects stream in ascending distance from the owner, so the
         # first one covering a still-uncovered keyword is exactly the
@@ -133,9 +156,14 @@ class OwnerRingApproximation(CoSKQAlgorithm):
         for _, obj in index.nearest_relevant_iter(
             owner.location, frozenset(uncovered), within=disk
         ):
-            covered_now = obj.keywords & uncovered
-            if not covered_now:
-                continue
+            if use_sig:
+                covered_mask = mask_of(obj.keywords) & u_mask
+                if not covered_mask:
+                    continue
+            else:
+                covered_now = obj.keywords & uncovered  # repro: noqa(R9) — toggle-off baseline
+                if not covered_now:
+                    continue
             if chosen_xs is not None:
                 loc = obj.location
                 d = max_distance_from(loc.x, loc.y, chosen_xs, chosen_ys)
@@ -155,7 +183,12 @@ class OwnerRingApproximation(CoSKQAlgorithm):
             if chosen_xs is not None:
                 chosen_xs.append(obj.location.x)
                 chosen_ys.append(obj.location.y)
-            uncovered -= covered_now
-            if not uncovered:
-                return chosen
+            if use_sig:
+                u_mask &= ~covered_mask
+                if not u_mask:
+                    return chosen
+            else:
+                uncovered -= covered_now
+                if not uncovered:
+                    return chosen
         return None

@@ -50,6 +50,7 @@ from repro.algorithms.cover import CoverBudgetExceeded, find_constrained_cover
 from repro.algorithms.owner_appro import OwnerRingApproximation
 from repro.cost.base import CostFunction, QueryAggregate, pairwise_max_distance
 from repro.geometry.circle import Circle
+from repro.index.signatures import bits_of, mask_of, pack_masks
 from repro.kernels import (
     DistanceOracle,
     distances_from,
@@ -335,33 +336,21 @@ class OwnerDrivenExact(CoSKQAlgorithm):
             # each owner's C(q, r) members without scanning the rest.
             order = sorted(range(len(universe)), key=dq.__getitem__)
             sorted_dq = [dq[i] for i in order]
-            # Trace masks: one bit per query keyword, so the per-owner
-            # keyword filter below is a machine-int AND instead of a
-            # frozenset intersection.  ``uncovered ⊆ query.keywords``
-            # always, so a nonzero AND is exactly "shares a keyword
-            # with ``uncovered``".
-            bit = {t: 1 << i for i, t in enumerate(query.keywords)}
-            items = bit.items()
-            masks = []
-            for obj in universe:
-                kws = obj.keywords
-                m = 0
-                for t, b in items:
-                    if t in kws:
-                        m |= b
-                masks.append(m)
-            cache = self._lens_cache = (
-                universe, xs, ys, order, sorted_dq, bit, masks
-            )
-        universe, xs, ys, order, sorted_dq, bit, masks = cache
+            # Global signature masks (repro.index.signatures): the
+            # per-owner keyword filter below is a machine-int AND
+            # instead of a frozenset intersection.  ``uncovered ⊆
+            # query.keywords ⊆ keywords(universe member)`` relevance
+            # means a nonzero AND is exactly "shares a keyword with
+            # ``uncovered``" — no per-query bit compilation needed.
+            masks = pack_masks(universe)
+            cache = self._lens_cache = (universe, xs, ys, order, sorted_dq, masks)
+        universe, xs, ys, order, sorted_dq, masks = cache
         # All i with dq[i] <= r — exactly the query-disk membership test.
         # The annulus floor (triangle inequality with guard margins) only
         # drops points certain to fail the exact owner-disk test below.
         start = bisect.bisect_left(sorted_dq, lens_lower_bound(r, budget))
         prefix = order[start : bisect.bisect_right(sorted_dq, r)]
-        unc = 0
-        for t in uncovered:
-            unc |= bit[t]
+        unc = mask_of(uncovered)
         loc = owner.location
         hits, dists = lens_gather(prefix, masks, unc, loc.x, loc.y, xs, ys, budget)
         # Universe indices are traversal-ordered, so sorting the
@@ -424,13 +413,14 @@ class OwnerDrivenExact(CoSKQAlgorithm):
         candidate at all.
         """
         anchor_d = oracle.anchor_d if oracle is not None else None
+        u_mask = mask_of(uncovered)
         best_per_keyword: Dict[int, float] = {}
         for i, cand in enumerate(candidates):
             if anchor_d is not None:
                 d = anchor_d[i]
             else:
                 d = owner.location.distance_to(cand.location)
-            for t in cand.keywords & uncovered:
+            for t in bits_of(mask_of(cand.keywords) & u_mask):
                 cur = best_per_keyword.get(t)
                 if cur is None or d < cur:
                     best_per_keyword[t] = d

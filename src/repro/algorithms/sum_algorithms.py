@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 from repro.algorithms.base import CoSKQAlgorithm, SearchContext
 from repro.cost.functions import SumCost
+from repro.index.signatures import mask_of
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -50,12 +51,14 @@ class _SumBase(CoSKQAlgorithm):
         here.
         """
         self.context.check_feasible(query)
-        bit_of = {t: 1 << i for i, t in enumerate(sorted(query.keywords))}
+        # Global signature masks (repro.index.signatures): the trace key
+        # is the object's keyword mask restricted to the query mask — a
+        # bijective relabeling of the old per-query bit compilation, so
+        # the same traces collapse to the same cheapest carrier.
+        q_mask = mask_of(query.keywords)
         best_by_trace: Dict[int, Tuple[float, SpatialObject]] = {}
         for obj in self.context.inverted.relevant_objects(query.keywords):
-            mask = 0
-            for t in obj.keywords & query.keywords:
-                mask |= bit_of[t]
+            mask = mask_of(obj.keywords) & q_mask
             dist = query.location.distance_to(obj.location)
             cur = best_by_trace.get(mask)
             if cur is None or (dist, obj.oid) < (cur[0], cur[1].oid):
@@ -72,7 +75,7 @@ class SumExact(_SumBase):
     def solve(self, query: Query) -> CoSKQResult:
         self._reset_counters()
         candidates = self._prepared(query)
-        full_mask = (1 << query.size) - 1
+        full_mask = mask_of(query.keywords)
         counter = itertools.count()
         best_cost: Dict[int, float] = {0: 0.0}
         heap: List[Tuple[float, int, int, Tuple[SpatialObject, ...]]] = [
@@ -107,7 +110,7 @@ class SumGreedy(_SumBase):
     def solve(self, query: Query) -> CoSKQResult:
         self._reset_counters()
         candidates = self._prepared(query)
-        full_mask = (1 << query.size) - 1
+        full_mask = mask_of(query.keywords)
         mask = 0
         chosen: List[SpatialObject] = []
         total = 0.0
@@ -118,7 +121,7 @@ class SumGreedy(_SumBase):
                 gained = (obj_mask | mask) & ~mask
                 if not gained:
                     continue
-                key = (dist / bin(gained).count("1"), obj.oid)
+                key = (dist / gained.bit_count(), obj.oid)
                 if best_key is None or key < best_key:
                     best_key = key
                     best = (obj, dist, obj_mask)

@@ -24,11 +24,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.algorithms.base import CoSKQAlgorithm, SearchContext
 from repro.cost.base import CostFunction, QueryAggregate
 from repro.errors import BudgetExceededError, InvalidParameterError
+from repro.index.signatures import bits_of, mask_of
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
 
@@ -68,25 +69,33 @@ class TopKCoSKQ(CoSKQAlgorithm):
         self.context.check_feasible(query)
         relevant = self.context.inverted.relevant_objects(query.keywords)
         qdist = {o.oid: query.location.distance_to(o.location) for o in relevant}
+        # Keyword bookkeeping runs on signature bitmasks throughout: the
+        # mask↔set bijection makes every cover test, branch choice and
+        # uncovered-set update identical to the frozenset algebra this
+        # replaces, and heap states carry a machine int instead of a
+        # frozenset (the unique tiebreak counter means the covered field
+        # is never compared).
+        q_mask = mask_of(query.keywords)
+        omask = {o.oid: mask_of(o.keywords) for o in relevant}
         by_keyword: Dict[int, List] = {t: [] for t in query.keywords}
         for obj in relevant:
-            for t in obj.keywords & query.keywords:
+            for t in bits_of(omask[obj.oid] & q_mask):
                 by_keyword[t].append(obj)
         for lst in by_keyword.values():
             lst.sort(key=lambda o: (qdist[o.oid], o.oid))
         nn_dist = {t: qdist[by_keyword[t][0].oid] for t in query.keywords}
 
         counter = itertools.count()
-        # state: (lb, tiebreak, chosen tuple, covered, qsum, qmax, diam)
-        heap: List[Tuple[float, int, tuple, FrozenSet[int], float, float, float]] = [
-            (0.0, next(counter), (), frozenset(), 0.0, 0.0, 0.0)
+        # state: (lb, tiebreak, chosen tuple, covered mask, qsum, qmax, diam)
+        heap: List[Tuple[float, int, tuple, int, float, float, float]] = [
+            (0.0, next(counter), (), 0, 0.0, 0.0, 0.0)
         ]
         found: List[CoSKQResult] = []
         seen: set = set()
         expansions = 0
         while heap and len(found) < self.k:
             lb, _, chosen, covered, qsum, qmax, diam = heapq.heappop(heap)
-            if covered >= query.keywords:
+            if not q_mask & ~covered:
                 key = frozenset(o.oid for o in chosen)
                 if key in seen:
                     continue
@@ -105,11 +114,11 @@ class TopKCoSKQ(CoSKQAlgorithm):
                     expansions,
                     counters=self.counters,
                 )
+            pending_rest = q_mask & ~covered
             branch = min(
-                query.keywords - covered, key=lambda t: (len(by_keyword[t]), t)
+                bits_of(pending_rest), key=lambda t: (len(by_keyword[t]), t)
             )
             chosen_ids = {o.oid for o in chosen}
-            pending_rest = query.keywords - covered
             for obj in by_keyword[branch]:
                 if obj.oid in chosen_ids:
                     continue
@@ -121,9 +130,9 @@ class TopKCoSKQ(CoSKQAlgorithm):
                         new_diam = pair
                 new_qsum = qsum + d
                 new_qmax = max(qmax, d)
-                new_covered = covered | (obj.keywords & query.keywords)
-                uncovered = pending_rest - obj.keywords
-                pending = max((nn_dist[t] for t in uncovered), default=0.0)
+                new_covered = covered | (omask[obj.oid] & q_mask)
+                uncovered = pending_rest & ~omask[obj.oid]
+                pending = max((nn_dist[t] for t in bits_of(uncovered)), default=0.0)
                 if self.cost.query_aggregate is QueryAggregate.SUM:
                     q_bound = new_qsum + (pending if uncovered else 0.0)
                 else:

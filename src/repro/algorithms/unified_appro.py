@@ -40,6 +40,7 @@ from repro.algorithms.base import CoSKQAlgorithm
 from repro.algorithms.owner_appro import greedy_completion_near
 from repro.cost.base import QueryAggregate
 from repro.geometry.circle import Circle
+from repro.index.signatures import shared_keywords
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -141,7 +142,7 @@ class UnifiedAppro(CoSKQAlgorithm):
             for obj in candidates:
                 if obj.oid in chosen_ids:
                     continue
-                gained = obj.keywords & remaining
+                gained = shared_keywords(obj.keywords, remaining)
                 if not gained:
                     continue
                 key = (

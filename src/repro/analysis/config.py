@@ -57,6 +57,12 @@ _DEFAULT_INCLUDE: Dict[str, Tuple[str, ...]] = {
         "repro/algorithms/",
         "repro/cost/",
     ),
+    # One keyword-signature definition: index/solver hot code routes
+    # keyword-set predicates through repro.index.signatures.
+    "R9": (
+        "repro/index/",
+        "repro/algorithms/",
+    ),
 }
 
 _DEFAULT_EXCLUDE: Dict[str, Tuple[str, ...]] = {
@@ -64,6 +70,8 @@ _DEFAULT_EXCLUDE: Dict[str, Tuple[str, ...]] = {
     # exec layer's injectable clock are the sanctioned homes for
     # randomness/clocks.
     "R2": ("repro/utils/rng.py", "repro/bench/", "repro/exec/clock.py"),
+    # The signature module itself is the sanctioned home of the algebra.
+    "R9": ("repro/index/signatures.py",),
 }
 
 _DEFAULT_REGISTRY = "repro/algorithms/registry.py"

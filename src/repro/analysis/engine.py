@@ -28,6 +28,7 @@ from repro.analysis.rules import (
     check_r6,
     check_r7,
     check_r8,
+    check_r9,
     parse_noqa,
 )
 
@@ -260,6 +261,8 @@ def run_analysis(
         for violation in check_r7(module, config):
             raw.append((module, violation))
         for violation in check_r8(module, config):
+            raw.append((module, violation))
+        for violation in check_r9(module, config):
             raw.append((module, violation))
 
     used_noqa: Set[Tuple[str, int]] = set()

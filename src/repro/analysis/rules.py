@@ -28,7 +28,15 @@ and the suppression mechanism (``# repro: noqa(RX)``).  The rules:
   does not inline ``hypot``/``sqrt`` distance math: distances route
   through :mod:`repro.geometry` or :mod:`repro.kernels`, keeping one
   auditably exact distance definition (all-constant calls such as the
-  ``sqrt(3)`` ratio literals are exempt).
+  ``sqrt(3)`` ratio literals are exempt);
+- **R9** — index/solver hot code (``repro/index/``,
+  ``repro/algorithms/``) does not inline keyword-set algebra
+  (``isdisjoint``/``issubset`` calls, ``&`` or ordering comparisons on
+  ``*keyword*`` operands): keyword predicates route through
+  :mod:`repro.index.signatures`, so the bitmask representation has a
+  single home.  The toggle-off fallback branches keep the literal
+  frozenset expressions under ``# repro: noqa(R9)`` — those lines *are*
+  the measured baseline and must stay byte-comparable to PR-4.
 
 Rules are pure functions from parsed module/project structure to
 :class:`Violation` streams; the engine (see :mod:`repro.analysis.engine`)
@@ -61,6 +69,7 @@ __all__ = [
     "check_r6",
     "check_r7",
     "check_r8",
+    "check_r9",
 ]
 
 #: One-line summaries, used by ``--list-rules`` and the docs test.
@@ -73,6 +82,7 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R6": "no bare RuntimeError in solver code; raise the typed taxonomy",
     "R7": "solver code never mutates shared context/index state",
     "R8": "no inline hypot/sqrt distance math in solver code; use geometry/kernels",
+    "R9": "no inline keyword-set algebra in index/solver code; use index.signatures",
     "NOQA": "suppression comment suppresses nothing (reported with --strict)",
 }
 
@@ -593,6 +603,86 @@ def check_r8(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
             "repro.geometry or repro.kernels so there is a single exact "
             "distance definition" % (term,),
         )
+
+
+# -- R9: one keyword-signature definition ---------------------------------------
+
+#: Method calls that are always keyword-set algebra in the scoped dirs.
+_R9_SET_CALLS = frozenset({"isdisjoint", "issubset", "issuperset"})
+
+#: Substring marking an operand as a keyword set (``obj.keywords``,
+#: ``query_keywords``, ``keyword_ids`` ...).  Mask operands are named
+#: ``*_mask``/``kw_mask`` and deliberately do not match.
+_R9_OPERAND_MARKER = "keyword"
+
+
+def _r9_keyword_operand(node: ast.AST) -> bool:
+    term = _terminal_identifier(node)
+    return term is not None and _R9_OPERAND_MARKER in term.lower()
+
+
+def check_r9(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
+    """No inline keyword-set algebra in index/solver hot code.
+
+    The signature layer (:mod:`repro.index.signatures`) is the single
+    home of the keyword-set representation: ``isdisjoint`` is
+    ``mask & mask == 0``, ``issubset`` is ``mask & ~mask == 0``, traces
+    are ``&`` on masks.  An inline frozenset ``isdisjoint``/``issubset``
+    call, a ``&`` intersection or a subset-ordering comparison on a
+    ``*keyword*`` operand in the scoped directories forks that
+    representation and silently bypasses the bitmask fast paths, so the
+    differential suite can no longer vouch for the toggle.  Scoped by
+    default to ``repro/index/`` and ``repro/algorithms/`` with the
+    signature module itself excluded; the signatures-off fallback
+    branches are the measured PR-4 baseline and carry explicit
+    ``# repro: noqa(R9)`` markers.
+    """
+    if not config.applies_to("R9", module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            term = _terminal_identifier(node.func)
+            if isinstance(node.func, ast.Attribute) and term in _R9_SET_CALLS:
+                yield Violation(
+                    "R9",
+                    module.relpath,
+                    node.lineno,
+                    "inline %s() keyword-set algebra; route through "
+                    "repro.index.signatures (mask predicates or the set-level "
+                    "companions)" % (term,),
+                )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitAnd):
+            if _r9_keyword_operand(node.left) or _r9_keyword_operand(node.right):
+                yield Violation(
+                    "R9",
+                    module.relpath,
+                    node.lineno,
+                    "inline '&' on a keyword set; route through "
+                    "repro.index.signatures (mask_of/shared_keywords)",
+                )
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitAnd):
+            if _r9_keyword_operand(node.target) or _r9_keyword_operand(node.value):
+                yield Violation(
+                    "R9",
+                    module.relpath,
+                    node.lineno,
+                    "inline '&=' on a keyword set; route through "
+                    "repro.index.signatures (mask_of/shared_keywords)",
+                )
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                    continue
+                if _r9_keyword_operand(left) or _r9_keyword_operand(right):
+                    yield Violation(
+                        "R9",
+                        module.relpath,
+                        node.lineno,
+                        "subset-ordering comparison on a keyword set; route "
+                        "through repro.index.signatures (covers/covers_all)",
+                    )
+                    break
 
 
 # -- R7: shared search state is read-only --------------------------------------

@@ -35,6 +35,7 @@ from repro.cost.unified import INTERESTING_SETTINGS, UnifiedCost
 from repro.data.augment import densify_keywords, scale_dataset
 from repro.data.generators import gn_like, hotel_like, web_like
 from repro.data.queries import generate_queries
+from repro.geometry.circle import Circle
 from repro.index.neighbors import LinearScanIndex
 from repro.model.dataset import Dataset
 
@@ -760,6 +761,175 @@ def _kernel_microbench(dataset: Dataset) -> List[Dict[str, object]]:
     return rows
 
 
+# -- keyword signatures ----------------------------------------------------------------
+
+#: When set (``make signatures-bench`` / tests), :func:`experiment_signatures`
+#: additionally writes its machine-readable results to this JSON file.
+SIGNATURES_JSON_PATH: pathlib.Path | None = None
+
+
+def experiment_signatures(scale: Scale) -> str:
+    """Wall-clock effect of the keyword-bitmap signatures on textual paths.
+
+    Each workload runs twice on one shared prebuilt index — signatures
+    forced *off* (the frozenset algebra, kept as the toggle's off path)
+    and forced *on* — and **bit-identity** of every per-run outcome
+    (costs, object ids, yielded distances) is asserted before any timing
+    is reported.  Timings take the minimum of three interleaved passes
+    per mode (same convention as ``kernels_study``).
+
+    The workloads separate the end-to-end solver effect (masks are one
+    ingredient among many) from the index-level hot paths the masks
+    rewrite directly:
+
+    - ``maxsum-exact`` / ``maxsum-appro`` — full solves, pinned workload;
+    - ``boolean-knn`` — the IR-tree's covering traversal, where the
+      signature path prunes whole subtrees that cannot cover ``q.ψ``
+      instead of filtering the relevant-object stream;
+    - ``early-break-scan`` — first 10 yields of the linear scan's
+      ``nearest_relevant_iter``, where the lazy heap stops paying the
+      full sort;
+    - ``circle-sweep`` — ``relevant_in_circle`` over the IR-tree with
+      mask-pruned nodes and mask-filtered leaves.
+    """
+    import json
+    import os
+    import time
+
+    from repro.algorithms.registry import make_algorithm
+    from repro.index import signatures
+
+    # Pinned medium workload (hotel-like at 0.25 scale, densified to
+    # ~4 keywords/object, |q.psi| = 9), as in ``kernels_study``: the
+    # headline numbers measure the same work at every scale; only the
+    # query count and seed follow ``scale``.
+    base = _dataset("hotel", 0.25, scale.seed)
+    dataset = densify_keywords(base, 4.0, seed=scale.seed)
+    k = 9
+    queries = generate_queries(dataset, k, scale.queries, seed=scale.seed)
+    # Covering objects are rare at |q.psi| = 9; boolean kNN gets its own
+    # 3-keyword queries so both toggle paths chase real results.
+    bool_queries = generate_queries(dataset, 3, scale.queries, seed=scale.seed + 1)
+    context = SearchContext(dataset)
+    irtree = context.index  # build once, outside every timed region
+    linear = LinearScanIndex(dataset)
+    circles = [
+        Circle(q.location, 2.0 * context.nn_set(q).d_f) for q in queries
+    ]
+
+    def solver_workload(name: str):
+        def run():
+            algo = make_algorithm(name, context)
+            return [
+                (r.cost, tuple(sorted(o.oid for o in r.objects)))
+                for r in (algo.solve(q) for q in queries)
+            ]
+
+        return run
+
+    def boolean_knn_workload():
+        out = []
+        for _ in range(20):
+            for q in bool_queries:
+                out.append(tuple((d, o.oid) for d, o in irtree.boolean_knn(q, 10)))
+        return out
+
+    def early_break_workload():
+        out = []
+        for _ in range(20):
+            for q in queries:
+                hits = []
+                for d, obj in linear.nearest_relevant_iter(q.location, q.keywords):
+                    hits.append((d, obj.oid))
+                    if len(hits) == 10:
+                        break
+                out.append(tuple(hits))
+        return out
+
+    def circle_sweep_workload():
+        out = []
+        for _ in range(20):
+            for q, circle in zip(queries, circles):
+                out.append(
+                    tuple(o.oid for o in irtree.relevant_in_circle(circle, q.keywords))
+                )
+        return out
+
+    workloads = (
+        ("maxsum-exact", solver_workload("maxsum-exact")),
+        ("maxsum-appro", solver_workload("maxsum-appro")),
+        ("boolean-knn", boolean_knn_workload),
+        ("early-break-scan", early_break_workload),
+        ("circle-sweep", circle_sweep_workload),
+    )
+    passes = 3
+    rows = []
+    json_rows = []
+    speedups: Dict[str, float] = {}
+    try:
+        for label, run in workloads:
+            timings: Dict[bool, float] = {False: math.inf, True: math.inf}
+            outcomes: Dict[bool, object] = {}
+            for _ in range(passes):
+                for enabled in (False, True):
+                    signatures.set_enabled(enabled)
+                    start = time.perf_counter()
+                    result = run()
+                    timings[enabled] = min(
+                        timings[enabled], time.perf_counter() - start
+                    )
+                    outcomes.setdefault(enabled, result)
+                    assert outcomes[enabled] == result, (
+                        "%s is nondeterministic across passes" % label
+                    )
+            # Bit-identity, not tolerance: the signature paths must
+            # produce the very same outcomes as the frozenset algebra.
+            assert outcomes[False] == outcomes[True], (
+                "signatures changed %s results" % label
+            )
+            speedup = timings[False] / timings[True] if timings[True] else math.nan
+            speedups[label] = speedup
+            row = {
+                "workload": label,
+                "baseline_s": round(timings[False], 4),
+                "signatures_s": round(timings[True], 4),
+                "speedup": round(speedup, 2),
+            }
+            rows.append(row)
+            json_rows.append(dict(row, queries=len(queries)))
+    finally:
+        signatures.set_enabled(None)
+
+    best = max(speedups, key=lambda label: speedups[label])
+    report_text = format_kv_table(
+        "keyword signatures: %s, %d queries, |q.psi|=%d (bit-identical results)"
+        % (dataset.name, len(queries), k),
+        rows,
+        key="workload",
+    )
+    report_text += "\nbest workload speedup: %s at %.2fx" % (best, speedups[best])
+    if SIGNATURES_JSON_PATH is not None:
+        payload = {
+            "dataset": dataset.name,
+            "objects": len(dataset),
+            "queries": len(queries),
+            "query_keywords": k,
+            "cpu_count": os.cpu_count(),
+            "best_workload": best,
+            "best_speedup": round(speedups[best], 2),
+            "workloads": json_rows,
+            "note": (
+                "min of %d interleaved passes, one process; both modes "
+                "share one prebuilt index and per-run outcomes are "
+                "asserted bit-identical before timing is reported (see "
+                "docs/PERFORMANCE.md)" % passes
+            ),
+        }
+        SIGNATURES_JSON_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SIGNATURES_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return report_text
+
+
 # -- registry -------------------------------------------------------------------------
 
 
@@ -779,6 +949,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale], str]] = {
     "unified": experiment_unified,
     "parallel_study": experiment_parallel,
     "kernels_study": experiment_kernels,
+    "signatures_study": experiment_signatures,
 }
 
 

@@ -1,11 +1,13 @@
-"""Spatial-textual indexing: inverted index, R-tree, IR-tree and caches."""
+"""Spatial-textual indexing: inverted index, R-tree, IR-tree, signatures, caches."""
 
 from repro.index.cache import DEFAULT_CACHE_CAPACITY, CacheStats, CachingIndex
 from repro.index.inverted import InvertedIndex
 from repro.index.irtree import IRTree, IRTreeNode
 from repro.index.neighbors import LinearScanIndex
 from repro.index.protocol import SpatialTextIndex
+from repro.index.rtext import RTreeTextIndex
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, RTree, RTreeNode
+from repro.index.signatures import mask_of, pack_masks, signatures_enabled
 
 __all__ = [
     "SpatialTextIndex",
@@ -15,8 +17,12 @@ __all__ = [
     "DEFAULT_CACHE_CAPACITY",
     "RTree",
     "RTreeNode",
+    "RTreeTextIndex",
     "IRTree",
     "IRTreeNode",
     "LinearScanIndex",
     "DEFAULT_MAX_ENTRIES",
+    "mask_of",
+    "pack_masks",
+    "signatures_enabled",
 ]

@@ -16,6 +16,16 @@ for the boolean keyword containment tests CoSKQ needs).  This enables:
 
 The tree is bulk-loaded with STR over the dataset; dynamic insertion is
 supported as well so incremental workloads can be modeled.
+
+Besides the ``Set[int]`` keyword summary each node carries its bitmask
+twin (``kw_mask``; leaves additionally keep per-entry ``obj_masks``),
+built unconditionally like the packed coordinate columns.  With
+``REPRO_SIGNATURES`` enabled (:mod:`repro.index.signatures`) every
+keyword test in the traversals runs on the masks — ``mask & w_mask``
+instead of ``isdisjoint`` — which is decision-identical because the
+mask↔set mapping is a bijection.  Summaries are maintained
+*incrementally* on insert (union with the new entry) and rebuilt from
+scratch only when a node splits.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
 from repro.index.rtree import DEFAULT_MAX_ENTRIES, _pack_upward, _str_tiles  # noqa: F401
+from repro.index.signatures import mask_of, signatures_enabled
 from repro.kernels import cap_bands, kernels_enabled
 from repro.utils.floatcmp import EPSILON as _ZERO_EPS
 from repro.model.dataset import Dataset
@@ -51,7 +62,17 @@ class IRTreeNode:
     ``obj.location`` per entry — see ``docs/PERFORMANCE.md``.
     """
 
-    __slots__ = ("is_leaf", "objects", "children", "mbr", "keywords", "xs", "ys")
+    __slots__ = (
+        "is_leaf",
+        "objects",
+        "children",
+        "mbr",
+        "keywords",
+        "kw_mask",
+        "obj_masks",
+        "xs",
+        "ys",
+    )
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
@@ -59,6 +80,10 @@ class IRTreeNode:
         self.children: List["IRTreeNode"] = []
         self.mbr: Optional[MBR] = None
         self.keywords: Set[int] = set()
+        #: Bitmask twin of ``keywords`` (``repro.index.signatures``).
+        self.kw_mask: int = 0
+        #: Leaf-only: per-entry keyword masks, parallel to ``objects``.
+        self.obj_masks: List[int] = []
         self.xs: array = array("d")
         self.ys: array = array("d")
 
@@ -66,16 +91,25 @@ class IRTreeNode:
         return len(self.objects) if self.is_leaf else len(self.children)
 
     def recompute_summaries(self) -> None:
-        """Rebuild this node's MBR, keyword union and coordinate columns."""
+        """Rebuild this node's MBR, keyword summaries and coordinate columns.
+
+        Called on bulk load and after splits; ordinary inserts maintain
+        every summary incrementally instead (see ``_insert_into``).
+        """
         self.keywords = set()
+        self.kw_mask = 0
         if self.is_leaf:
             self.mbr = (
                 MBR.from_points(o.location for o in self.objects)
                 if self.objects
                 else None
             )
+            self.obj_masks = []
             for obj in self.objects:
                 self.keywords.update(obj.keywords)
+                mask = mask_of(obj.keywords)
+                self.obj_masks.append(mask)
+                self.kw_mask |= mask
             self.xs = array("d", (o.location.x for o in self.objects))
             self.ys = array("d", (o.location.y for o in self.objects))
         else:
@@ -83,6 +117,7 @@ class IRTreeNode:
             self.mbr = MBR.union_all(rects) if rects else None
             for child in self.children:
                 self.keywords.update(child.keywords)
+                self.kw_mask |= child.kw_mask
 
 
 class IRTree:
@@ -126,11 +161,26 @@ class IRTree:
         self._size += 1
 
     def _insert_into(self, node: IRTreeNode, obj: SpatialObject) -> Optional[IRTreeNode]:
+        """Insert ``obj`` below ``node``, maintaining summaries incrementally.
+
+        The non-split path unions the new entry into each summary along
+        the insertion path (min/max and set/bit unions are associative,
+        so the result equals a from-scratch rebuild); only a split — the
+        one event that *removes* entries from a node — rebuilds, inside
+        ``_split_leaf``/``_split_internal``.
+        """
+        obj_mask = mask_of(obj.keywords)
+        point_rect = MBR.from_point(obj.location)
         if node.is_leaf:
             node.objects.append(obj)
             if len(node.objects) > self.max_entries:
                 return self._split_leaf(node)
-            node.recompute_summaries()
+            node.keywords |= obj.keywords
+            node.kw_mask |= obj_mask
+            node.obj_masks.append(obj_mask)
+            node.xs.append(obj.location.x)
+            node.ys.append(obj.location.y)
+            node.mbr = point_rect if node.mbr is None else node.mbr.union(point_rect)
             return None
         child = _choose_ir_subtree(node.children, obj.location)
         split = self._insert_into(child, obj)
@@ -138,7 +188,11 @@ class IRTree:
             node.children.append(split)
             if len(node.children) > self.max_entries:
                 return self._split_internal(node)
-        node.recompute_summaries()
+            node.recompute_summaries()
+            return None
+        node.keywords |= obj.keywords
+        node.kw_mask |= obj_mask
+        node.mbr = point_rect if node.mbr is None else node.mbr.union(point_rect)
         return None
 
     def _split_leaf(self, node: IRTreeNode) -> IRTreeNode:
@@ -176,18 +230,28 @@ class IRTree:
     ) -> Iterator[Tuple[float, SpatialObject]]:
         """Objects carrying any keyword of ``keywords``, by ascending distance.
 
-        Best-first traversal; subtrees whose keyword summary is disjoint
-        from ``keywords`` are never opened.  ``within`` additionally
-        restricts results (and the traversal) to a closed disk — the
-        owner-driven algorithms search ``C(q, r)`` anchored elsewhere, and
-        pruning the disk inside the traversal is what makes that cheap.
+        Single best-first heap over (mindist, node/object) entries; all
+        keyword pruning happens at *push* time, so subtrees whose
+        keyword summary is disjoint from ``keywords`` are never opened
+        and irrelevant objects never enter the heap.  ``within``
+        additionally restricts results (and the traversal) to a closed
+        disk — the owner-driven algorithms search ``C(q, r)`` anchored
+        elsewhere, and pruning the disk inside the traversal is what
+        makes that cheap.  With signatures enabled the keyword tests run
+        on node/entry bitmasks (decision-identical to the set algebra).
         """
         if self.root.mbr is None:
             return
+        use_sig = signatures_enabled()
+        w_mask = mask_of(keywords)
         counter = itertools.count()
         # Heap entries are either unopened nodes or materialized objects.
         heap: List[Tuple[float, int, bool, Union[IRTreeNode, SpatialObject]]] = []
-        if not self.root.keywords.isdisjoint(keywords):
+        if (
+            self.root.kw_mask & w_mask
+            if use_sig
+            else not self.root.keywords.isdisjoint(keywords)  # repro: noqa(R9) — toggle-off baseline
+        ):
             heapq.heappush(
                 heap,
                 (self.root.mbr.min_distance(point), next(counter), False, self.root),
@@ -215,8 +279,12 @@ class IRTree:
                     # computes — just without the attribute chasing.
                     xs = node.xs
                     ys = node.ys
+                    masks = node.obj_masks
                     for i, obj in enumerate(node.objects):
-                        if obj.keywords.isdisjoint(keywords):
+                        if use_sig:
+                            if not masks[i] & w_mask:
+                                continue
+                        elif obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                             continue
                         if w_center is not None:
                             dx = wx - xs[i]
@@ -231,8 +299,12 @@ class IRTree:
                         d = math.hypot(px - xs[i], py - ys[i])
                         heapq.heappush(heap, (d, next(counter), True, obj))
                     continue
-                for obj in node.objects:
-                    if obj.keywords.isdisjoint(keywords):
+                masks = node.obj_masks
+                for i, obj in enumerate(node.objects):
+                    if use_sig:
+                        if not masks[i] & w_mask:
+                            continue
+                    elif obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                         continue
                     if (
                         w_center is not None
@@ -243,7 +315,12 @@ class IRTree:
                     heapq.heappush(heap, (d, next(counter), True, obj))
             else:
                 for child in node.children:
-                    if child.mbr is None or child.keywords.isdisjoint(keywords):
+                    if child.mbr is None:
+                        continue
+                    if use_sig:
+                        if not child.kw_mask & w_mask:
+                            continue
+                    elif child.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                         continue
                     if use_flat:
                         # Inlined min_distance: same clamped-offset
@@ -330,12 +407,58 @@ class IRTree:
         Returns fewer than k when fewer qualifying objects exist (an
         empty list when no single object covers the whole query — the
         situation CoSKQ exists to solve).
+
+        With signatures enabled this runs a dedicated best-first
+        traversal with the *covering* prune ``q_mask & ~kw_mask != 0``:
+        a subtree whose keyword union does not cover ``q.ψ`` cannot
+        contain a covering object, so whole relevant-but-insufficient
+        subtrees are skipped that the signatures-off path (filtering a
+        relevance-ordered stream) must still walk.  Results are
+        identical: both paths emit covering objects in ascending
+        ``(distance, push order)``, and the relative push order of the
+        surviving entries matches the off path's traversal (pruned
+        entries contribute no results and do not reorder the rest).
         """
         out: List[Tuple[float, SpatialObject]] = []
         if k <= 0:
             return out
+        if signatures_enabled():
+            if self.root.mbr is None:
+                return out
+            q_mask = mask_of(query.keywords)
+            if q_mask & ~self.root.kw_mask:
+                return out
+            point = query.location
+            counter = itertools.count()
+            heap: List[Tuple[float, int, bool, Union[IRTreeNode, SpatialObject]]] = [
+                (self.root.mbr.min_distance(point), next(counter), False, self.root)
+            ]
+            while heap:
+                dist, _, is_object, item = heapq.heappop(heap)
+                if is_object:
+                    out.append((dist, item))  # type: ignore[arg-type]
+                    if len(out) >= k:
+                        break
+                    continue
+                node: IRTreeNode = item  # type: ignore[assignment]
+                if node.is_leaf:
+                    masks = node.obj_masks
+                    for i, obj in enumerate(node.objects):
+                        if q_mask & ~masks[i]:
+                            continue
+                        d = point.distance_to(obj.location)
+                        heapq.heappush(heap, (d, next(counter), True, obj))
+                else:
+                    for child in node.children:
+                        if child.mbr is None or q_mask & ~child.kw_mask:
+                            continue
+                        heapq.heappush(
+                            heap,
+                            (child.mbr.min_distance(point), next(counter), False, child),
+                        )
+            return out
         for dist, obj in self.nearest_relevant_iter(query.location, query.keywords):
-            if query.keywords <= obj.keywords:
+            if query.keywords <= obj.keywords:  # repro: noqa(R9) — toggle-off baseline
                 out.append((dist, obj))
                 if len(out) >= k:
                     break
@@ -370,13 +493,20 @@ class IRTree:
         center = circle.center
         radius = circle.radius
         use_flat = kernels_enabled()
+        use_sig = signatures_enabled()
+        w_mask = mask_of(keywords)
         cx = center.x
         cy = center.y
         lo2, hi2, fast = cap_bands(radius)
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.mbr is None or node.keywords.isdisjoint(keywords):
+            if node.mbr is None:
+                continue
+            if use_sig:
+                if not node.kw_mask & w_mask:
+                    continue
+            elif node.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                 continue
             if use_flat:
                 if _mbr_beyond(node.mbr, cx, cy, radius, lo2, hi2, fast):
@@ -384,13 +514,17 @@ class IRTree:
             elif not circle.intersects_mbr(node.mbr):
                 continue
             if node.is_leaf:
+                masks = node.obj_masks
                 if use_flat:
                     # Guarded squared-distance scan over the packed
                     # columns; only band-ambiguous entries pay a hypot.
                     xs = node.xs
                     ys = node.ys
                     for i, obj in enumerate(node.objects):
-                        if obj.keywords.isdisjoint(keywords):
+                        if use_sig:
+                            if not masks[i] & w_mask:
+                                continue
+                        elif obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                             continue
                         dx = cx - xs[i]
                         dy = cy - ys[i]
@@ -404,11 +538,13 @@ class IRTree:
                         if math.hypot(dx, dy) <= radius:
                             out.append(obj)
                     continue
-                for obj in node.objects:
-                    if (
-                        not obj.keywords.isdisjoint(keywords)
-                        and center.distance_to(obj.location) <= radius
-                    ):
+                for i, obj in enumerate(node.objects):
+                    if use_sig:
+                        if not masks[i] & w_mask:
+                            continue
+                    elif obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
+                        continue
+                    if center.distance_to(obj.location) <= radius:
                         out.append(obj)
             else:
                 stack.extend(node.children)
@@ -427,6 +563,8 @@ class IRTree:
         if self.root.mbr is None or not circles:
             return out
         use_flat = kernels_enabled()
+        use_sig = signatures_enabled()
+        w_mask = mask_of(keywords)
         if use_flat:
             # Guard bands per disk: (cx, cy, radius, lo2, hi2, fast).
             bands = [
@@ -436,7 +574,12 @@ class IRTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.mbr is None or node.keywords.isdisjoint(keywords):
+            if node.mbr is None:
+                continue
+            if use_sig:
+                if not node.kw_mask & w_mask:
+                    continue
+            elif node.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                 continue
             if use_flat:
                 # Inlined MBR/disk prune, decision-identical to
@@ -479,6 +622,7 @@ class IRTree:
             elif any(node.mbr.min_distance(c.center) > c.radius for c in circles):
                 continue
             if node.is_leaf:
+                masks = node.obj_masks
                 if use_flat:
                     # Disks that contain the whole leaf MBR need no
                     # per-object test: correctly rounded subtraction and
@@ -491,14 +635,20 @@ class IRTree:
                         if not _mbr_within(node.mbr, b[0], b[1], b[2], b[3], b[4], b[5])
                     ]
                     if not live:
-                        for obj in node.objects:
-                            if not obj.keywords.isdisjoint(keywords):
+                        for i, obj in enumerate(node.objects):
+                            if use_sig:
+                                if masks[i] & w_mask:
+                                    out.append(obj)
+                            elif not obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                                 out.append(obj)
                         continue
                     xs = node.xs
                     ys = node.ys
                     for i, obj in enumerate(node.objects):
-                        if obj.keywords.isdisjoint(keywords):
+                        if use_sig:
+                            if not masks[i] & w_mask:
+                                continue
+                        elif obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                             continue
                         inside = True
                         for cx, cy, rr, lo2, hi2, fast in live:
@@ -517,8 +667,11 @@ class IRTree:
                         if inside:
                             out.append(obj)
                     continue
-                for obj in node.objects:
-                    if obj.keywords.isdisjoint(keywords):
+                for i, obj in enumerate(node.objects):
+                    if use_sig:
+                        if not masks[i] & w_mask:
+                            continue
+                    elif obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                         continue
                     if all(c.contains(obj.location) for c in circles):
                         out.append(obj)
@@ -537,14 +690,25 @@ class IRTree:
         per-owner lens regions out of it with the flat kernels.
         """
         out: List[SpatialObject] = []
+        use_sig = signatures_enabled()
+        w_mask = mask_of(keywords)
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.mbr is None or node.keywords.isdisjoint(keywords):
+            if node.mbr is None:
+                continue
+            if use_sig:
+                if not node.kw_mask & w_mask:
+                    continue
+            elif node.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                 continue
             if node.is_leaf:
-                for obj in node.objects:
-                    if not obj.keywords.isdisjoint(keywords):
+                masks = node.obj_masks
+                for i, obj in enumerate(node.objects):
+                    if use_sig:
+                        if masks[i] & w_mask:
+                            out.append(obj)
+                    elif not obj.keywords.isdisjoint(keywords):  # repro: noqa(R9) — toggle-off baseline
                         out.append(obj)
             else:
                 stack.extend(node.children)
@@ -741,6 +905,7 @@ def _check_ir_node(node: IRTreeNode, max_entries: int, is_root: bool) -> int:
         expected: Set[int] = set()
         assert len(node.xs) == len(node.objects), "stale leaf x column"
         assert len(node.ys) == len(node.objects), "stale leaf y column"
+        assert len(node.obj_masks) == len(node.objects), "stale leaf mask column"
         for i, obj in enumerate(node.objects):
             expected.update(obj.keywords)
             assert node.mbr is not None and node.mbr.contains_point(obj.location)
@@ -749,14 +914,24 @@ def _check_ir_node(node: IRTreeNode, max_entries: int, is_root: bool) -> int:
             assert node.xs[i] == obj.location.x and node.ys[i] == obj.location.y, (
                 "leaf coordinate column diverges from object locations"
             )
+            assert node.obj_masks[i] == mask_of(obj.keywords), (
+                "leaf mask column diverges from object keywords"
+            )
         assert node.keywords == expected, "stale leaf keyword summary"
+        assert node.kw_mask == mask_of(frozenset(expected)), "stale leaf keyword mask"
         return len(node.objects)
     total = 0
     expected = set()
+    expected_mask = 0
     for child in node.children:
         assert child.mbr is not None and node.mbr is not None
         assert node.mbr.contains(child.mbr), "loose internal MBR"
         expected.update(child.keywords)
+        expected_mask |= child.kw_mask
         total += _check_ir_node(child, max_entries, is_root=False)
     assert node.keywords == expected, "stale internal keyword summary"
+    assert node.kw_mask == expected_mask, "stale internal keyword mask"
+    assert node.kw_mask == mask_of(frozenset(expected)), (
+        "internal keyword mask diverges from keyword summary"
+    )
     return total

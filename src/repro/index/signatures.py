@@ -1,0 +1,167 @@
+"""Keyword-bitmap signatures: stdlib ints as keyword bitsets.
+
+The textual half of every CoSKQ query is set algebra over small integer
+keyword ids — ``isdisjoint`` to prune index nodes, ``issubset`` to test
+covers, intersection traces to rank cover candidates.  The vocabulary
+assigns keyword ids densely from zero (:mod:`repro.model.vocabulary`),
+so a keyword set is exactly a bitset in an arbitrary-precision Python
+``int``: bit ``t`` is set iff keyword ``t`` is present.  On that
+representation the hot predicates collapse to single C-level integer
+ops:
+
+==========================  ==============================
+set expression              mask expression
+==========================  ==============================
+``a.isdisjoint(b)``         ``a_mask & b_mask == 0``
+``q <= o`` (``issubset``)   ``q_mask & ~o_mask == 0``
+``a & b`` (trace)           ``a_mask & b_mask``
+``a - b`` (uncovered)       ``a_mask & ~b_mask``
+``len(a)`` (popcount)       ``a_mask.bit_count()``
+==========================  ==============================
+
+The mask↔set mapping is a bijection (each keyword id owns one bit and
+ints are exact), so every mask predicate returns *exactly* the boolean
+the set expression returns — pruning decisions, candidate orderings and
+tie-breaks are unchanged, which is what the differential suite
+(``tests/test_signatures_differential.py``) asserts over every
+registered solver.
+
+The mask *query paths* are toggleable with ``REPRO_SIGNATURES`` (or
+:func:`set_enabled`), mirroring ``REPRO_KERNELS``: masks are always
+*built* (they are cheap columns, like the flat coordinate arrays), but
+with the toggle off every index and solver runs the original frozenset
+algebra so the benchmark baseline stays honest.
+
+This module is the sanctioned home for keyword-set algebra in the index
+and solver packages; inline ``isdisjoint``/``issubset``/``&`` keyword
+ops there are barred by lint rule R9 (``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "signatures_enabled",
+    "set_enabled",
+    "mask_of",
+    "pack_masks",
+    "bits_of",
+    "keywords_of",
+    "covers",
+    "overlaps",
+    "shared_keywords",
+    "covers_all",
+]
+
+#: Module-level override for the environment toggle; None means
+#: "follow the environment".
+_FORCED: Optional[bool] = None
+
+#: Environment variable controlling the signature query paths.  Read
+#: per call (cheap) rather than at import, and env-based rather than a
+#: module global alone, so the setting propagates into forked parallel
+#: workers (:mod:`repro.parallel`) without extra plumbing.
+_ENV_VAR = "REPRO_SIGNATURES"
+
+_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+
+
+def signatures_enabled() -> bool:
+    """Whether the bitmask query paths are active (default: yes).
+
+    Disabled by ``REPRO_SIGNATURES=0`` (or ``false``/``no``/``off``) or
+    by :func:`set_enabled`.  Masks encode the same sets exactly, so the
+    switch exists for the differential test suite and for benchmarking
+    the speedup honestly — not for safety.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(_ENV_VAR, "1").strip().lower() not in _FALSE_VALUES
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force the toggle (True/False) or restore env control (None)."""
+    global _FORCED
+    _FORCED = value
+
+
+# -- building masks ------------------------------------------------------------
+
+#: Memo from frozen keyword set to its mask.  Keyword sets are shared
+#: heavily (every query carries one frozenset; objects repeat traces),
+#: and frozensets cache their hash, so the dict probe is cheap.  The
+#: memo is unbounded but keys are interned-ish small sets; a dataset
+#: with V keywords admits at most the sets actually seen.
+_MASK_MEMO: Dict[FrozenSet[int], int] = {}
+
+
+def mask_of(keywords: Iterable[int]) -> int:
+    """The bitmask of a keyword id set (memoized for frozensets)."""
+    if isinstance(keywords, frozenset):
+        cached = _MASK_MEMO.get(keywords)
+        if cached is None:
+            cached = 0
+            for t in keywords:
+                cached |= 1 << t
+            _MASK_MEMO[keywords] = cached
+        return cached
+    mask = 0
+    for t in keywords:
+        mask |= 1 << t
+    return mask
+
+
+def pack_masks(objects: Iterable) -> List[int]:
+    """Per-object keyword masks, parallel to the input order."""
+    return [mask_of(o.keywords) for o in objects]
+
+
+# -- reading masks -------------------------------------------------------------
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Iterate the keyword ids of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def keywords_of(mask: int) -> FrozenSet[int]:
+    """The frozen keyword set encoded by ``mask``."""
+    return frozenset(bits_of(mask))
+
+
+# -- predicates ----------------------------------------------------------------
+
+
+def covers(required_mask: int, carried_mask: int) -> bool:
+    """``required ⊆ carried`` on masks (``issubset``)."""
+    return required_mask & ~carried_mask == 0
+
+
+def overlaps(a_mask: int, b_mask: int) -> bool:
+    """``not a.isdisjoint(b)`` on masks."""
+    return a_mask & b_mask != 0
+
+
+# -- set-level companions ------------------------------------------------------
+#
+# Cold call sites (baseline solvers, one-shot setup code) route their
+# keyword algebra through these instead of inline frozenset operators so
+# rule R9 keeps a single grep-able inventory of keyword-set algebra.
+# They are the literal set expressions — no mask round-trip — because at
+# cold sites the set op is already optimal and the point is only that
+# the representation lives in one module.
+
+
+def shared_keywords(a: FrozenSet[int], b) -> FrozenSet[int]:
+    """``a & b`` for keyword sets (the relevant-keyword trace)."""
+    return a & b
+
+
+def covers_all(required, carried) -> bool:
+    """``required ⊆ carried`` for keyword sets."""
+    return required <= carried

@@ -50,6 +50,7 @@ class DistanceOracle:
         "_rows",
         "_tables",
         "_indices",
+        "_kw_masks",
     )
 
     def __init__(
@@ -83,6 +84,24 @@ class DistanceOracle:
         self._indices: Dict[int, int] = {
             obj.oid: i for i, obj in enumerate(self.objects)
         }
+        self._kw_masks: Optional[Tuple[int, ...]] = None
+
+    def keyword_masks(self) -> Tuple[int, ...]:
+        """Per-candidate keyword bitmasks, indexed like ``objects``.
+
+        Built lazily on first use (the masked cover search is the only
+        consumer) and cached for the oracle's lifetime — sound for the
+        same frozen-geometry reason as the distance rows.  The import is
+        deferred so the kernels layer stays import-free of the rest of
+        the package at module load.
+        """
+        cached = self._kw_masks
+        if cached is None:
+            from repro.index.signatures import pack_masks
+
+            cached = tuple(pack_masks(self.objects))
+            self._kw_masks = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self.objects)

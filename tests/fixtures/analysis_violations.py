@@ -74,3 +74,14 @@ def inline_distance(ax, ay, bx, by):
     rolled = math.sqrt(dx * dx + dy * dy)  # expect: R8
     ratio = math.sqrt(3.0)  # all-constant args: ratio literal, not distance math
     return direct + rolled + ratio
+
+
+def inline_keyword_algebra(query_keywords, node_keywords):
+    if query_keywords.isdisjoint(node_keywords):  # expect: R9
+        return frozenset()
+    shared = query_keywords & node_keywords  # expect: R9
+    if query_keywords <= node_keywords:  # expect: R9
+        return shared
+    remaining = query_keywords
+    remaining &= node_keywords  # expect: R9
+    return node_keywords.issubset(query_keywords)  # expect: R9

@@ -39,6 +39,7 @@ class TestExperimentRegistry:
             "unified",
             "parallel_study",
             "kernels_study",
+            "signatures_study",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -144,3 +145,29 @@ class TestExperimentsRun:
             "pairwise_max",
             "distances_from",
         }
+
+    def test_signatures_study(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.bench import experiments
+        from repro.index import signatures
+
+        json_path = tmp_path / "BENCH_signatures.json"
+        monkeypatch.setattr(experiments, "SIGNATURES_JSON_PATH", json_path)
+        report = run_experiment("signatures_study", scale=MICRO)
+        assert "bit-identical" in report
+        assert "best workload speedup" in report
+        # The experiment restores the toggle even though it forces both
+        # modes while timing.
+        assert signatures._FORCED is None
+        payload = json.loads(json_path.read_text())
+        assert payload["cpu_count"] >= 1
+        assert {row["workload"] for row in payload["workloads"]} == {
+            "maxsum-exact",
+            "maxsum-appro",
+            "boolean-knn",
+            "early-break-scan",
+            "circle-sweep",
+        }
+        for row in payload["workloads"]:
+            assert row["baseline_s"] > 0 and row["signatures_s"] > 0

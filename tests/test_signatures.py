@@ -1,0 +1,122 @@
+"""Unit and property tests for the keyword-bitmap signature layer.
+
+The layer's whole correctness story is a bijection between frozen
+keyword sets and integer bitsets: every mask predicate must return
+exactly the boolean (or set) its frozenset twin returns.  Hypothesis
+drives the bijection over arbitrary small keyword sets; the rest pins
+the toggle semantics (`REPRO_SIGNATURES` / `set_enabled`) that the
+benchmarks and the differential suite rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import signatures
+from repro.index.signatures import (
+    bits_of,
+    covers,
+    covers_all,
+    keywords_of,
+    mask_of,
+    overlaps,
+    pack_masks,
+    shared_keywords,
+    signatures_enabled,
+    set_enabled,
+)
+
+keyword_sets = st.frozensets(st.integers(min_value=0, max_value=63), max_size=10)
+
+
+@pytest.fixture(autouse=True)
+def restore_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_SIGNATURES", raising=False)
+    yield
+    set_enabled(None)
+
+
+class TestMaskBijection:
+    @given(keyword_sets)
+    def test_roundtrip(self, kws):
+        assert keywords_of(mask_of(kws)) == kws
+
+    @given(keyword_sets)
+    def test_popcount_is_cardinality(self, kws):
+        assert mask_of(kws).bit_count() == len(kws)
+
+    @given(keyword_sets)
+    def test_bits_ascend(self, kws):
+        bits = list(bits_of(mask_of(kws)))
+        assert bits == sorted(kws)
+
+    @given(keyword_sets, keyword_sets)
+    def test_overlaps_is_not_isdisjoint(self, a, b):
+        assert overlaps(mask_of(a), mask_of(b)) == (not a.isdisjoint(b))
+
+    @given(keyword_sets, keyword_sets)
+    def test_covers_is_issubset(self, a, b):
+        assert covers(mask_of(a), mask_of(b)) == (a <= b)
+
+    @given(keyword_sets, keyword_sets)
+    def test_and_is_intersection(self, a, b):
+        assert keywords_of(mask_of(a) & mask_of(b)) == (a & b)
+
+    @given(keyword_sets, keyword_sets)
+    def test_andnot_is_difference(self, a, b):
+        assert keywords_of(mask_of(a) & ~mask_of(b)) == (a - b)
+
+    @given(keyword_sets, keyword_sets)
+    def test_set_level_companions_match(self, a, b):
+        assert shared_keywords(a, b) == (a & b)
+        assert covers_all(a, b) == (a <= b)
+
+
+class TestMaskBuilding:
+    def test_mask_of_memoizes_frozensets(self):
+        kws = frozenset({3, 5})
+        assert mask_of(kws) == mask_of(frozenset({5, 3})) == (1 << 3) | (1 << 5)
+
+    def test_mask_of_accepts_plain_iterables(self):
+        assert mask_of([0, 2]) == 0b101
+        assert mask_of(iter((1,))) == 0b10
+        assert mask_of(()) == 0
+
+    def test_pack_masks_parallel_to_input(self, tiny_dataset):
+        objects = list(tiny_dataset.objects)
+        masks = pack_masks(objects)
+        assert len(masks) == len(objects)
+        for obj, mask in zip(objects, masks):
+            assert keywords_of(mask) == obj.keywords
+
+
+class TestToggle:
+    def test_default_is_enabled(self):
+        assert signatures_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "No", " OFF "])
+    def test_env_false_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SIGNATURES", value)
+        assert signatures_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_env_other_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SIGNATURES", value)
+        assert signatures_enabled() is True
+
+    def test_set_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIGNATURES", "0")
+        set_enabled(True)
+        assert signatures_enabled() is True
+        set_enabled(False)
+        monkeypatch.setenv("REPRO_SIGNATURES", "1")
+        assert signatures_enabled() is False
+        set_enabled(None)
+        assert signatures_enabled() is True
+
+    def test_module_mirrors_kernels_toggle_shape(self):
+        # The benchmark harness flips both layers the same way.
+        assert hasattr(signatures, "set_enabled")
+        assert signatures._ENV_VAR == "REPRO_SIGNATURES"

@@ -79,7 +79,7 @@ class TestFixtureViolations:
 
     def test_every_rule_id_exercised(self, report):
         seen = {violation.rule for violation in report.violations}
-        assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
+        assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}
 
     def test_noqa_suppression_honored(self, report):
         # QuietAlgo.solve carries `# repro: noqa(R5)`; exactly that one
@@ -191,7 +191,7 @@ class TestCommandLine:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"):
             assert rule in out
 
     def test_missing_path_exits_two(self, capsys):
