@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint check chaos parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports figures full-experiments clean
+.PHONY: install test lint lint-fast check chaos parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
@@ -8,9 +8,15 @@ install:
 test:
 	pytest tests/
 
-# Repo-specific static analysis (rules R1-R9; docs/STATIC_ANALYSIS.md).
+# Repo-specific static analysis, including the interprocedural dataflow
+# pass R10-R12 (docs/STATIC_ANALYSIS.md).  Per-module summaries are
+# cached in .coskq_lint_cache.json, so warm runs stay fast.
 lint:
 	PYTHONPATH=src python -m repro.analysis --strict
+
+# Syntactic rules only (R1-R9): skips the dataflow pass for quick loops.
+lint-fast:
+	PYTHONPATH=src python -m repro.analysis --no-dataflow
 
 # Everything a PR must keep green: the linter (incl. R6) plus the tier-1 suite.
 check: lint

@@ -58,7 +58,9 @@ def greedy_completion_near(
         # and consuming the coverage is ``&= ~covered`` — same picks.
         remaining_mask = mask_of(uncovered)
         masks = pack_masks(ordered)
-        while remaining_mask:
+        # Bounded: every pass either consumes one candidate or returns,
+        # so the loop runs at most len(ordered) iterations.
+        while remaining_mask:  # repro: noqa(R11) — bounded by len(ordered)
             progressed = False
             for i, obj in enumerate(ordered):
                 if taken[i]:
@@ -74,7 +76,8 @@ def greedy_completion_near(
                 return None
         return chosen
     remaining = set(uncovered)
-    while remaining:
+    # Bounded for the same reason as the mask twin above.
+    while remaining:  # repro: noqa(R11) — bounded by len(ordered)
         progressed = False
         for i, obj in enumerate(ordered):
             if taken[i]:
@@ -105,6 +108,7 @@ class OwnerRingApproximation(CoSKQAlgorithm):
         d_f = nn.d_f
         index = self.context.index
         for dist, owner in index.nearest_relevant_iter(query.location, query.keywords):
+            self._checkpoint()
             if dist < d_f:
                 # Cannot be the farthest member of any feasible set.
                 continue
@@ -148,14 +152,19 @@ class OwnerRingApproximation(CoSKQAlgorithm):
         # update becomes one packed-array kernel call per greedy pick
         # instead of per-member attribute chasing.  The kernel's maximum
         # is the same exact hypot value the scalar loop tracks.
-        chosen_xs: Optional[array] = None
-        chosen_ys: Optional[array] = None
-        if kernels_enabled():
+        chosen_xs: Optional[array]
+        chosen_ys: Optional[array]
+        use_flat = kernels_enabled()
+        if use_flat:
             chosen_xs = array("d", (owner.location.x,))
             chosen_ys = array("d", (owner.location.y,))
+        else:
+            chosen_xs = None
+            chosen_ys = None
         for _, obj in index.nearest_relevant_iter(
             owner.location, frozenset(uncovered), within=disk
         ):
+            self._checkpoint()
             if use_sig:
                 covered_mask = mask_of(obj.keywords) & u_mask
                 if not covered_mask:
@@ -164,7 +173,7 @@ class OwnerRingApproximation(CoSKQAlgorithm):
                 covered_now = obj.keywords & uncovered  # repro: noqa(R9) — toggle-off baseline
                 if not covered_now:
                     continue
-            if chosen_xs is not None:
+            if use_flat:
                 loc = obj.location
                 d = max_distance_from(loc.x, loc.y, chosen_xs, chosen_ys)
                 if d > diam_so_far:
@@ -180,9 +189,13 @@ class OwnerRingApproximation(CoSKQAlgorithm):
                 self._bump("completions_aborted")
                 return None
             chosen.append(obj)
-            if chosen_xs is not None:
+            if use_flat:
                 chosen_xs.append(obj.location.x)
                 chosen_ys.append(obj.location.y)
+            else:
+                # The scalar path reads `chosen` directly; no flat mirror
+                # to maintain.
+                pass
             if use_sig:
                 u_mask &= ~covered_mask
                 if not u_mask:

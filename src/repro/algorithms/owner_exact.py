@@ -196,6 +196,7 @@ class OwnerDrivenExact(CoSKQAlgorithm):
         d_f = nn.d_f if self.ring_pruning else 0.0
         index = self.context.index
         for dist, owner in index.nearest_relevant_iter(query.location, query.keywords):
+            self._checkpoint()
             if dist < d_f:
                 continue
             if self.cost.combine(dist, 0.0) >= best_cost:

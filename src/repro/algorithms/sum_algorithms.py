@@ -82,6 +82,7 @@ class SumExact(_SumBase):
             (0.0, next(counter), 0, ())
         ]
         while heap:
+            self._checkpoint()
             cost_so_far, _, mask, chosen = heapq.heappop(heap)
             if cost_so_far > best_cost.get(mask, float("inf")):
                 continue  # stale entry

@@ -94,6 +94,7 @@ class TopKCoSKQ(CoSKQAlgorithm):
         seen: set = set()
         expansions = 0
         while heap and len(found) < self.k:
+            self._checkpoint()
             lb, _, chosen, covered, qsum, qmax, diam = heapq.heappop(heap)
             if not q_mask & ~covered:
                 key = frozenset(o.oid for o in chosen)

@@ -84,6 +84,7 @@ class UnifiedAppro(CoSKQAlgorithm):
         for dist, contributor in index.nearest_relevant_iter(
             query.location, query.keywords
         ):
+            self._checkpoint()
             if dist < min_contributor_dist:
                 continue
             if self.cost.combine(dist, 0.0) >= best_cost:
@@ -137,6 +138,7 @@ class UnifiedAppro(CoSKQAlgorithm):
         chosen: List[SpatialObject] = []
         chosen_ids: set[int] = set()
         while remaining:
+            self._checkpoint()
             best = None
             best_key = None
             for obj in candidates:

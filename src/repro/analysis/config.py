@@ -63,6 +63,26 @@ _DEFAULT_INCLUDE: Dict[str, Tuple[str, ...]] = {
         "repro/index/",
         "repro/algorithms/",
     ),
+    # Interprocedural escape analysis: nothing reachable from a solver's
+    # solve() may mutate shared search state.  Scoped by the *solver's*
+    # module; the sanctioned-writer carve-out is `sanction` below.
+    "R10": (
+        "repro/algorithms/",
+        "repro/network/",
+    ),
+    # Checkpoint reachability: unbounded solver loops must reach
+    # _bump()/_checkpoint() on every iteration path.
+    "R11": (
+        "repro/algorithms/",
+        "repro/network/",
+    ),
+    # Toggle parity: kernels/signatures-guarded branches keep both arms
+    # and their off-arms never reach the fast-path modules.
+    "R12": (
+        "repro/algorithms/",
+        "repro/index/",
+        "repro/geometry/",
+    ),
 }
 
 _DEFAULT_EXCLUDE: Dict[str, Tuple[str, ...]] = {
@@ -72,9 +92,23 @@ _DEFAULT_EXCLUDE: Dict[str, Tuple[str, ...]] = {
     "R2": ("repro/utils/rng.py", "repro/bench/", "repro/exec/clock.py"),
     # The signature module itself is the sanctioned home of the algebra.
     "R9": ("repro/index/signatures.py",),
+    # The toggle-owning modules define the on/off machinery themselves.
+    "R12": ("repro/index/signatures.py", "repro/kernels/"),
 }
 
 _DEFAULT_REGISTRY = "repro/algorithms/registry.py"
+
+#: R10's sanctioned writers: modules that are *allowed* to mutate shared
+#: search state even when reachable from a solver — the memoizing cache
+#: layer, the worker-resident datasets of the parallel engine, the
+#: per-owner memo tables of the distance oracle, and the fault-injection
+#: wrapper (whose whole point is to instrument index traffic).
+_DEFAULT_R10_SANCTIONED: Tuple[str, ...] = (
+    "repro/index/cache.py",
+    "repro/parallel/",
+    "repro/kernels/oracle.py",
+    "repro/exec/chaos.py",
+)
 
 
 def path_matches(relpath: str, pattern: str) -> bool:
@@ -111,6 +145,15 @@ class AnalysisConfig:
         default_factory=lambda: dict(_DEFAULT_EXCLUDE)
     )
     registry: str = _DEFAULT_REGISTRY
+    #: Run the interprocedural dataflow pass (R10-R12).  ``coskq-lint
+    #: --no-dataflow`` / ``make lint-fast`` turn it off for quick loops.
+    dataflow: bool = True
+    #: Where to persist per-module dataflow summaries between runs,
+    #: keyed by content hash.  ``None`` disables caching (the default
+    #: for library callers; the CLI enables it next to pyproject.toml).
+    cache_path: Optional[str] = None
+    #: Modules allowed to mutate shared search state under R10.
+    r10_sanctioned: Tuple[str, ...] = _DEFAULT_R10_SANCTIONED
 
     @classmethod
     def load(cls, pyproject: Optional[Path]) -> "AnalysisConfig":
@@ -136,6 +179,10 @@ class AnalysisConfig:
             include=include,
             exclude=exclude,
             registry=str(table.get("registry", _DEFAULT_REGISTRY)),
+            dataflow=bool(table.get("dataflow", True)),
+            r10_sanctioned=tuple(
+                str(p) for p in table.get("sanction", _DEFAULT_R10_SANCTIONED)
+            ),
         )
 
     def rule_enabled(self, rule_id: str) -> bool:

@@ -10,11 +10,20 @@ design: the repo is developed offline with ``dependencies = []``.
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    check_dataflow_rules,
+    link,
+    summarize_module,
+)
 from repro.analysis.rules import (
     ClassInfo,
     ModuleInfo,
@@ -32,7 +41,13 @@ from repro.analysis.rules import (
     parse_noqa,
 )
 
-__all__ = ["AnalysisReport", "run_analysis", "compute_relpath", "load_module"]
+__all__ = [
+    "AnalysisReport",
+    "SummaryCache",
+    "run_analysis",
+    "compute_relpath",
+    "load_module",
+]
 
 
 @dataclass
@@ -43,6 +58,9 @@ class AnalysisReport:
     unused_noqa: List[Violation] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Dataflow summary-cache traffic (0/0 when the pass is skipped).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def ok(self, strict: bool = False) -> bool:
         if self.violations:
@@ -82,7 +100,69 @@ def load_module(path: Path) -> ModuleInfo:
         relpath=compute_relpath(path),
         tree=tree,
         noqa=parse_noqa(source),
+        digest=hashlib.sha256(source.encode("utf-8")).hexdigest(),
     )
+
+
+class SummaryCache:
+    """Content-hash keyed store of per-module dataflow summaries.
+
+    A single JSON file maps ``relpath -> {"key": sha256+version,
+    "summary": ModuleSummary.to_dict()}``.  A module whose source hash
+    (and :data:`SUMMARY_VERSION`) matches skips re-extraction entirely,
+    which is what keeps the interprocedural pass inside the ``make
+    lint`` latency budget.  Corrupt or stale files degrade to a cold
+    cache, never to an error.
+    """
+
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        if path is not None and path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                if isinstance(data, dict):
+                    self._entries = {
+                        k: v for k, v in data.items() if isinstance(v, dict)
+                    }
+            except (OSError, ValueError):
+                self._entries = {}
+
+    @staticmethod
+    def _key(module: ModuleInfo) -> str:
+        return "%s:v%d" % (module.digest, SUMMARY_VERSION)
+
+    def summarize(self, module: ModuleInfo) -> ModuleSummary:
+        """Cached :func:`summarize_module`, keyed by content hash."""
+        entry = self._entries.get(module.relpath)
+        if entry is not None and entry.get("key") == self._key(module):
+            try:
+                summary = ModuleSummary.from_dict(entry["summary"])
+                self.hits += 1
+                return summary
+            except (KeyError, TypeError, ValueError, IndexError):
+                pass  # malformed entry: fall through to a fresh extraction
+        self.misses += 1
+        summary = summarize_module(module)
+        self._entries[module.relpath] = {
+            "key": self._key(module),
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+        return summary
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        try:
+            self.path.write_text(
+                json.dumps(self._entries, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
 
 
 def _collect_files(paths: Iterable[Path]) -> List[Path]:
@@ -233,6 +313,13 @@ def run_analysis(
                     "syntax error: %s" % (err.msg,),
                 )
             )
+        except ValueError as err:
+            # ast.parse raises bare ValueError on e.g. null bytes.
+            report.violations.append(
+                Violation(
+                    "PARSE", compute_relpath(path), 1, "unparseable: %s" % err
+                )
+            )
         except OSError as err:
             report.violations.append(
                 Violation("PARSE", compute_relpath(path), 1, "unreadable: %s" % err)
@@ -265,6 +352,24 @@ def run_analysis(
         for violation in check_r9(module, config):
             raw.append((module, violation))
 
+    if config.dataflow and any(
+        config.rule_enabled(r) for r in ("R10", "R11", "R12")
+    ):
+        cache = SummaryCache(
+            Path(config.cache_path) if config.cache_path else None
+        )
+        summaries = {
+            module.relpath: cache.summarize(module) for module in modules
+        }
+        cache.save()
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+        graph = link(summaries, project)
+        for relpath, violation in check_dataflow_rules(graph, config):
+            module = by_relpath.get(relpath)
+            if module is not None:
+                raw.append((module, violation))
+
     used_noqa: Set[Tuple[str, int]] = set()
     for module, violation in raw:
         if _suppressed(module, violation):
@@ -284,4 +389,5 @@ def run_analysis(
                     )
                 )
     report.violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
+    report.unused_noqa.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
     return report

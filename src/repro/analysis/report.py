@@ -6,10 +6,16 @@ The JSON shape is stable for CI consumption::
       "ok": true,
       "files_checked": 62,
       "suppressed": 2,
+      "cache": {"hits": 60, "misses": 2},
       "violations": [
         {"rule": "R3", "path": "repro/cost/x.py", "line": 10, "message": "..."}
       ]
     }
+
+Interprocedural findings (R10-R12) additionally carry ``"function"``
+(the enclosing ``relpath:Qual.name``) and ``"callchain"`` (the list of
+functions from the analysis root to the offending site); both keys are
+omitted on purely syntactic findings, SARIF-style.
 """
 
 from __future__ import annotations
@@ -24,12 +30,17 @@ __all__ = ["render_text", "render_json", "render_rule_list"]
 
 
 def _as_dict(violation: Violation) -> dict:
-    return {
+    out = {
         "rule": violation.rule,
         "path": violation.path,
         "line": violation.line,
         "message": violation.message,
     }
+    if violation.function is not None:
+        out["function"] = violation.function
+    if violation.chain:
+        out["callchain"] = list(violation.chain)
+    return out
 
 
 def render_text(report: AnalysisReport, strict: bool = False) -> str:
@@ -53,6 +64,7 @@ def render_json(report: AnalysisReport, strict: bool = False) -> str:
         "ok": report.ok(strict),
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
+        "cache": {"hits": report.cache_hits, "misses": report.cache_misses},
         "violations": [_as_dict(v) for v in report.effective_violations(strict)],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

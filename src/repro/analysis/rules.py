@@ -40,7 +40,9 @@ and the suppression mechanism (``# repro: noqa(RX)``).  The rules:
 
 Rules are pure functions from parsed module/project structure to
 :class:`Violation` streams; the engine (see :mod:`repro.analysis.engine`)
-handles file walking, suppression and reporting.
+handles file walking, suppression and reporting.  The interprocedural
+rules R10-R12 (call-graph purity, checkpoint reachability, toggle
+parity) live in :mod:`repro.analysis.dataflow`.
 """
 
 from __future__ import annotations
@@ -83,21 +85,36 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R7": "solver code never mutates shared context/index state",
     "R8": "no inline hypot/sqrt distance math in solver code; use geometry/kernels",
     "R9": "no inline keyword-set algebra in index/solver code; use index.signatures",
+    "R10": "nothing reachable from solve() mutates shared search state (call graph)",
+    "R11": "every unbounded solver loop checkpoints on every iteration path",
+    "R12": "toggle branches have both arms; off-arms never reach kernel/signature code",
     "NOQA": "suppression comment suppresses nothing (reported with --strict)",
+    "PARSE": "file failed to parse (syntax error or unreadable); exit code 3",
 }
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule breach at a specific source location."""
+    """One rule breach at a specific source location.
+
+    The interprocedural rules (R10-R12) also carry the enclosing
+    ``function`` (``relpath:Qual.name``) and, where a finding is only
+    explicable through the call graph, the ``chain`` of functions from
+    the analysis root to the offending site.
+    """
 
     rule: str
     path: str
     line: int
     message: str
+    function: Optional[str] = None
+    chain: Tuple[str, ...] = ()
 
     def format(self) -> str:
-        return "%s:%d: %s %s" % (self.path, self.line, self.rule, self.message)
+        base = "%s:%d: %s %s" % (self.path, self.line, self.rule, self.message)
+        if self.chain:
+            base += " [call chain: %s]" % " -> ".join(self.chain)
+        return base
 
 
 #: Matches the suppression comment, bare or with a rule list (R3 / R3,R5).
@@ -157,6 +174,9 @@ class ModuleInfo:
     relpath: str
     tree: ast.Module
     noqa: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+    #: sha256 of the source text — the dataflow pass keys its summary
+    #: cache on it so unchanged modules skip re-extraction.
+    digest: str = ""
 
     def classes(self) -> Iterator[ast.ClassDef]:
         for node in ast.walk(self.tree):
@@ -692,6 +712,32 @@ def check_r9(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
 #: ``self.context = ...`` (construction) has no such owner and is fine.
 _R7_SHARED_OWNERS = frozenset({"context", "index", "inverted"})
 
+#: Method calls that mutate their receiver in place.  A solver calling
+#: ``self.context.index._cache.clear()`` corrupts shared state exactly
+#: like ``self.context.index._cache = {}`` — the assignment form was
+#: caught, the call form was R7's blind spot (now shared with the
+#: interprocedural R10, so the cheap rule and the dataflow rule agree
+#: on direct cases).
+_R7_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+        "sort",
+        "reverse",
+        "__setitem__",
+        "__delitem__",
+    }
+)
+
 
 def _owner_components(node: ast.AST) -> List[str]:
     """Dotted/subscripted components of an assignment target's owner."""
@@ -730,6 +776,26 @@ def check_r7(module: ModuleInfo, config: AnalysisConfig) -> Iterator[Violation]:
             targets = [node.target]
         elif isinstance(node, ast.Delete):
             targets = list(node.targets)
+        elif isinstance(node, ast.Call):
+            # The mutating-call form: ``self.context.index._cache.clear()``.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _R7_MUTATOR_METHODS
+            ):
+                owners = _owner_components(func.value)
+                touched = sorted(set(owners) & _R7_SHARED_OWNERS)
+                if touched:
+                    yield Violation(
+                        "R7",
+                        module.relpath,
+                        node.lineno,
+                        "solver code calls mutating method %s() through shared "
+                        "search state (%s); SearchContext and its indexes are "
+                        "read-only — the memoizing caches depend on it"
+                        % (func.attr, ", ".join(repr(t) for t in touched)),
+                    )
+            continue
         else:
             continue
         for target in targets:

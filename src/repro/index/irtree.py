@@ -243,7 +243,7 @@ class IRTree:
         if self.root.mbr is None:
             return
         use_sig = signatures_enabled()
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if use_sig else 0
         counter = itertools.count()
         # Heap entries are either unopened nodes or materialized objects.
         heap: List[Tuple[float, int, bool, Union[IRTreeNode, SpatialObject]]] = []
@@ -264,7 +264,11 @@ class IRTree:
         if w_center is not None:
             wx = w_center.x
             wy = w_center.y
-            w_lo2, w_hi2, w_fast = cap_bands(w_radius)
+            if use_flat:
+                w_lo2, w_hi2, w_fast = cap_bands(w_radius)
+            else:
+                w_lo2 = w_hi2 = 0.0
+                w_fast = False
         while heap:
             dist, _, is_object, item = heapq.heappop(heap)
             if is_object:
@@ -494,10 +498,14 @@ class IRTree:
         radius = circle.radius
         use_flat = kernels_enabled()
         use_sig = signatures_enabled()
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if use_sig else 0
         cx = center.x
         cy = center.y
-        lo2, hi2, fast = cap_bands(radius)
+        if use_flat:
+            lo2, hi2, fast = cap_bands(radius)
+        else:
+            lo2 = hi2 = 0.0
+            fast = False
         stack = [self.root]
         while stack:
             node = stack.pop()
@@ -564,13 +572,15 @@ class IRTree:
             return out
         use_flat = kernels_enabled()
         use_sig = signatures_enabled()
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if use_sig else 0
         if use_flat:
             # Guard bands per disk: (cx, cy, radius, lo2, hi2, fast).
             bands = [
                 (c.center.x, c.center.y, c.radius, *cap_bands(c.radius))
                 for c in circles
             ]
+        else:
+            bands = []
         stack = [self.root]
         while stack:
             node = stack.pop()
@@ -691,7 +701,7 @@ class IRTree:
         """
         out: List[SpatialObject] = []
         use_sig = signatures_enabled()
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if use_sig else 0
         stack = [self.root]
         while stack:
             node = stack.pop()
@@ -724,7 +734,11 @@ class IRTree:
         use_flat = kernels_enabled()
         cx = center.x
         cy = center.y
-        lo2, hi2, fast = cap_bands(radius)
+        if use_flat:
+            lo2, hi2, fast = cap_bands(radius)
+        else:
+            lo2 = hi2 = 0.0
+            fast = False
         stack = [self.root]
         while stack:
             node = stack.pop()

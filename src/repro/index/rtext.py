@@ -67,7 +67,7 @@ class RTreeTextIndex:
         self, point: Point, keywords: FrozenSet[int], within: Circle | None = None
     ) -> Iterator[Tuple[float, SpatialObject]]:
         """Relevant objects by ascending distance (R-tree best-first)."""
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if signatures_enabled() else 0
         for dist, _, obj in self._rtree.nearest_iter(point):
             if not self._relevant(obj, keywords, w_mask):
                 continue
@@ -90,8 +90,8 @@ class RTreeTextIndex:
         out: List[Tuple[float, SpatialObject]] = []
         if k <= 0:
             return out
-        q_mask = mask_of(query.keywords)
         use_sig = signatures_enabled()
+        q_mask = mask_of(query.keywords) if use_sig else 0
         for dist, obj in self.nearest_relevant_iter(query.location, query.keywords):
             if use_sig:
                 if q_mask & ~self._masks[obj.oid]:
@@ -123,7 +123,7 @@ class RTreeTextIndex:
         self, circle: Circle, keywords: FrozenSet[int]
     ) -> List[SpatialObject]:
         """Relevant objects inside the closed disk (R-tree range search)."""
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if signatures_enabled() else 0
         return [
             obj
             for obj in self._rtree.range_search(circle)
@@ -134,7 +134,7 @@ class RTreeTextIndex:
         self, circles, keywords: FrozenSet[int]
     ) -> List[SpatialObject]:
         """Relevant objects inside the intersection of all ``circles``."""
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if signatures_enabled() else 0
         return [
             obj
             for obj in self._objects
@@ -144,7 +144,7 @@ class RTreeTextIndex:
 
     def relevant_objects(self, keywords: FrozenSet[int]) -> List[SpatialObject]:
         """Every relevant object, in the scan order of ``relevant_in_region``."""
-        w_mask = mask_of(keywords)
+        w_mask = mask_of(keywords) if signatures_enabled() else 0
         return [obj for obj in self._objects if self._relevant(obj, keywords, w_mask)]
 
     def objects_in_circle(self, circle: Circle) -> List[SpatialObject]:

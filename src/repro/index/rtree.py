@@ -182,7 +182,11 @@ class RTree(Generic[T]):
         center = circle.center
         use_flat = kernels_enabled()
         cx, cy = center.x, center.y
-        lo2, hi2, fast = cap_bands(radius)
+        if use_flat:
+            lo2, hi2, fast = cap_bands(radius)
+        else:
+            lo2 = hi2 = 0.0
+            fast = False
         while stack:
             node = stack.pop()
             if node.mbr is None or not circle.intersects_mbr(node.mbr):

@@ -118,6 +118,11 @@ class _NetworkAlgorithm:
         if self.budget is not None:
             self.budget.tick(amount, counters=self.counters)
 
+    def _checkpoint(self) -> None:
+        """Probe the deadline without charging work (for coarse loops)."""
+        if self.budget is not None:
+            self.budget.checkpoint(counters=self.counters)
+
     def _result(self, objects, cost_value: float) -> CoSKQResult:
         return CoSKQResult.of(objects, cost_value, self.name, counters=dict(self.counters))
 
@@ -127,6 +132,7 @@ class _NetworkAlgorithm:
         chosen: Dict[int, SpatialObject] = {}
         d_f = 0.0
         for dist, node in self.context.network.expansion_from(query_node):
+            self._checkpoint()
             for obj in self.context.objects_on(node):
                 useful = obj.keywords & uncovered
                 if useful:
@@ -169,6 +175,7 @@ class NetworkGreedyAppro(_NetworkAlgorithm):
         # Owner candidates stream in ascending network distance for free:
         # the Dijkstra expansion from the query node IS that order.
         for dist, node in self.context.network.expansion_from(query_node):
+            self._checkpoint()
             if self.cost.combine(dist, 0.0) >= best_cost:
                 break
             if dist < d_f:
@@ -203,6 +210,7 @@ class NetworkGreedyAppro(_NetworkAlgorithm):
         for dist, node in self.context.network.expansion_from(
             self.context.object_node(owner)
         ):
+            self._checkpoint()
             if self.cost.combine(owner_dist, dist) >= cost_bound:
                 return None  # completion already prices this owner out
             for obj in self.context.objects_on(node):
@@ -259,6 +267,7 @@ class NetworkBnBExact(_NetworkAlgorithm):
         ]
         expansions = 0
         while heap:
+            self._checkpoint()
             lb, _, chosen, covered, qsum, qmax, diam = heapq.heappop(heap)
             if lb >= incumbent_cost:
                 break

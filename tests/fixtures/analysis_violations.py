@@ -54,7 +54,10 @@ def poison_shared_state(algo, value):
     algo.index._cache[0] = value  # expect: R7
     algo.context.index.counters += 1  # expect: R7
     del algo.context.inverted.postings  # expect: R7
+    algo.context.index._cache.clear()  # expect: R7
+    algo.inverted.postings.append(value)  # expect: R7
     algo.context = value  # construction-style rebind: not R7's business
+    value.scratch.append(1)  # private owner: not R7's business
     return algo
 
 

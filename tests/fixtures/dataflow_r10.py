@@ -1,0 +1,46 @@
+"""Seeded R10 violations for the interprocedural dataflow pass.
+
+The mutation is *not* in ``solve()`` itself — it hides one call away in
+a helper, which is exactly the escape the syntactic R7 cannot see and
+the call-graph R10 must.  The second solver is the noqa twin: the same
+defect with a targeted suppression, proving ``# repro: noqa(R10)``
+composes with dataflow findings.  Run under a permissive config (the
+default include scoping keeps R10 inside ``repro/``).
+"""
+
+__all__ = []
+
+
+class LeakySolver:
+    """Solver-family by duck type: defines ``_reset_counters``."""
+
+    name = "leaky-dataflow-fixture"
+
+    def _reset_counters(self):
+        self.counters = {}
+
+    def solve(self, query):
+        self._reset_counters()
+        self._warm(query)
+        return None
+
+    def _warm(self, query):
+        # Reachable from solve() -> flagged by R10 with a call chain.
+        self.context.index._cache[query] = 1  # expect-dataflow: R10
+
+
+class QuietLeakySolver:
+    """The same escape, suppressed at the offending line."""
+
+    name = "leaky-dataflow-suppressed"
+
+    def _reset_counters(self):
+        self.counters = {}
+
+    def solve(self, query):
+        self._reset_counters()
+        self._warm(query)
+        return None
+
+    def _warm(self, query):
+        self.context.index._cache[query] = 1  # repro: noqa(R7, R10) — seeded twin

@@ -1,0 +1,50 @@
+"""Seeded R11 violations: unbounded loops that never checkpoint.
+
+``solve`` drains an ``*_iter`` stream (R11's definition of unbounded)
+and spins a bare ``while`` without ever reaching ``_bump`` or
+``_checkpoint`` on the skipping path; ``checked_drain`` is the noqa
+twin.  ``polite_drain`` checkpoints on every path and must stay clean —
+it is the regression guard against R11 flagging correct loops.
+"""
+
+__all__ = []
+
+
+class DrainSolver:
+    """Solver-family by duck type: defines ``_reset_counters``."""
+
+    name = "drain-dataflow-fixture"
+
+    def _reset_counters(self):
+        self.counters = {}
+
+    def _bump(self, counter, amount=1):
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def _checkpoint(self):
+        pass
+
+    def solve(self, query):
+        self._reset_counters()
+        total = 0
+        for dist, obj in query.index.nearest_relevant_iter(query.location):  # expect-dataflow: R11
+            if dist > 1.0:
+                continue  # this path skips the bump below
+            self._bump("objects_seen")
+            total += 1
+        while total > 0:  # expect-dataflow: R11
+            total -= 1
+        return total
+
+    def checked_drain(self, stream):
+        out = 0
+        while stream.pending():  # repro: noqa(R11) — seeded twin
+            out += 1
+        return out
+
+    def polite_drain(self, query):
+        for dist, obj in query.index.nearest_relevant_iter(query.location):
+            self._checkpoint()
+            if dist > 1.0:
+                continue
+            self._bump("objects_seen")

@@ -1,0 +1,46 @@
+"""Seeded R12 violations: toggle-parity defects.
+
+``missing_off_arm`` guards on the kernels toggle without an off-arm (and
+without terminating the on-arm), so the measured baseline is no longer
+an auditable path.  ``off_path_symbol`` computes a signature mask before
+branching on the toggle, putting a ``repro.index.signatures`` symbol on
+the toggle-off slice.  ``suppressed_off_path`` is the noqa twin, and
+``clean_parity`` is the regression guard: a properly gated twin that
+must stay clean.
+"""
+
+__all__ = []
+
+from repro.index.signatures import mask_of, signatures_enabled
+from repro.kernels import kernels_enabled, max_distance_from
+
+
+def missing_off_arm(xs, ys):
+    best = 0.0
+    if kernels_enabled():  # expect-dataflow: R12
+        best = max_distance_from(0.0, 0.0, xs, ys)
+    return best
+
+
+def off_path_symbol(keywords):
+    use_sig = signatures_enabled()
+    mask = mask_of(keywords)  # expect-dataflow: R12
+    if use_sig:
+        return mask
+    return len(keywords)
+
+
+def suppressed_off_path(keywords):
+    use_sig = signatures_enabled()
+    mask = mask_of(keywords)  # repro: noqa(R12) — seeded twin
+    if use_sig:
+        return mask
+    return len(keywords)
+
+
+def clean_parity(keywords):
+    use_sig = signatures_enabled()
+    mask = mask_of(keywords) if use_sig else 0
+    if use_sig:
+        return mask
+    return len(keywords)

@@ -191,8 +191,66 @@ class TestCommandLine:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"):
+        for rule in (
+            "R1", "R2", "R3", "R4", "R5", "R6",
+            "R7", "R8", "R9", "R10", "R11", "R12",
+        ):
             assert rule in out
 
     def test_missing_path_exits_two(self, capsys):
         assert lint_main([str(ROOT / "does-not-exist.py")]) == 2
+
+    def test_format_json_matches_json_flag(self, capsys):
+        assert lint_main(["--format", "json", str(FIXTURE)]) == 1
+        via_format = capsys.readouterr().out
+        assert lint_main(["--json", str(FIXTURE)]) == 1
+        via_flag = capsys.readouterr().out
+        assert json.loads(via_format) == json.loads(via_flag)
+
+    def test_no_dataflow_skips_interprocedural_rules(self, capsys):
+        # src/repro is clean either way; the flag must not break the run.
+        assert lint_main(["--no-dataflow", str(SRC)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+
+class TestParseFailures:
+    def test_syntax_error_reports_readable_line(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n", encoding="utf-8")
+        exit_code = lint_main([str(bad)])
+        out = capsys.readouterr().out
+        assert exit_code == 3
+        assert "PARSE" in out
+        assert "syntax error" in out
+
+    def test_null_byte_reports_unparseable(self, tmp_path, capsys):
+        bad = tmp_path / "binary.py"
+        bad.write_bytes(b"x = 1\x00\n")
+        exit_code = lint_main([str(bad)])
+        out = capsys.readouterr().out
+        assert exit_code == 3
+        # Depending on the Python version null bytes surface as a bare
+        # ValueError ("unparseable") or a SyntaxError; both must land on
+        # the PARSE rule with a readable one-liner.
+        assert "PARSE" in out
+        assert "null bytes" in out or "unparseable" in out
+
+    def test_parse_failure_outranks_ordinary_violations(self, tmp_path):
+        good_but_dirty = tmp_path / "dirty.py"
+        good_but_dirty.write_text(
+            "def f(bucket={}):\n    return bucket\n", encoding="utf-8"
+        )
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        # Violations alone exit 1; any parse failure escalates to 3.
+        assert lint_main([str(good_but_dirty)]) == 1
+        assert lint_main([str(good_but_dirty), str(broken)]) == 3
+
+    def test_parse_failure_keeps_other_findings(self, tmp_path):
+        from repro.analysis import run_analysis
+
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        report = run_analysis([FIXTURE, broken], PERMISSIVE)
+        rules = {v.rule for v in report.violations}
+        assert "PARSE" in rules and "R7" in rules
