@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint lint-fast check chaos parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports figures full-experiments clean
+.PHONY: install test lint lint-fast check chaos serve-check parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports figures full-experiments clean
 
 install:
 	pip install -e .
@@ -26,6 +26,15 @@ check: lint
 chaos:
 	PYTHONPATH=src python -m pytest -q tests/test_exec_policy.py \
 		tests/test_exec_fallback.py tests/test_exec_chaos.py
+
+# The serving gate (docs/SERVING.md): boots the daemon on an ephemeral
+# port and drives a mixed clean + chaos load through the real HTTP
+# stack — zero 5xx-without-taxonomy, zero infeasible answers, and
+# /stats totals reconciling bit-for-bit with the client-side tally.
+serve-check:
+	PYTHONPATH=src python -m pytest -q tests/test_serve_http.py \
+		tests/test_serve_client.py tests/test_serve_chaos.py \
+		tests/test_cache_concurrency.py
 
 # The parallel-engine gate: differential + metamorphic + property suites
 # (docs/PARALLELISM.md).

@@ -29,10 +29,21 @@ Design constraints the wrapper honors:
 lazy, possibly unbounded iterator that callers consume partially, so
 memoizing it would either change laziness semantics or buffer an
 unbounded prefix.  It delegates directly and counts as ``uncached``.
+
+- **Thread safety.**  The LRU map and its counters are guarded by one
+  lock so the threaded serving daemon (:mod:`repro.serve`) can share a
+  cache across request handlers and read consistent ``/stats``
+  snapshots.  The expensive ``compute`` of a miss runs *outside* the
+  lock (two racing misses may compute twice; the first insert wins and
+  both callers see the canonical snapshot), so concurrency is never
+  serialized on index work.  The lock is created per instance and never
+  pickled — caches are built worker-side from a
+  :class:`~repro.parallel.spec.CacheSpec`, never shipped.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -114,6 +125,10 @@ class CachingIndex:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+        # Guards _entries and stats; see "Thread safety" in the module
+        # docstring.  An RLock so clear()/len() compose under callers
+        # that already hold it.
+        self._lock = threading.RLock()
 
     @classmethod
     def build(cls, dataset: Dataset, max_entries: int = 16) -> "CachingIndex":
@@ -127,22 +142,37 @@ class CachingIndex:
     def _memoized(
         self, key: Tuple[object, ...], compute: Callable[[], object]
     ) -> object:
-        entry = self._entries.get(key)
-        if entry is not None or key in self._entries:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None or key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
+        # The miss computes outside the lock: index lookups are the
+        # expensive part, and serializing them would defeat the threaded
+        # server.  A racing miss may compute the same value; the first
+        # insert wins and stays canonical.
         value = compute()
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None or key in self._entries:
+                return existing
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return value
 
     def clear(self) -> None:
         """Drop every entry (stats are kept — they describe the lifetime)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def stats_dict(self, prefix: str = "") -> Dict[str, int]:
+        """A consistent counter snapshot (all four read under the lock)."""
+        with self._lock:
+            return self.stats.as_dict(prefix)
 
     def __len__(self) -> int:
         return len(self.inner)
@@ -161,7 +191,8 @@ class CachingIndex:
         self, point: Point, keywords: FrozenSet[int], within: Circle | None = None
     ) -> Iterator[Tuple[float, SpatialObject]]:
         # Lazy iterator: cannot be memoized without changing semantics.
-        self.stats.uncached += 1
+        with self._lock:
+            self.stats.uncached += 1
         return self.inner.nearest_relevant_iter(point, keywords, within)
 
     def nearest_neighbor_set(

@@ -24,8 +24,9 @@ When result reuse is **unsound** (and therefore refused or bypassed):
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.index.cache import CacheStats
@@ -49,7 +50,16 @@ def result_key(
 
 
 class ResultCache:
-    """A bounded LRU from :func:`result_key` to :class:`CoSKQResult`."""
+    """A bounded LRU from :func:`result_key` to :class:`CoSKQResult`.
+
+    Thread-safe: lookups, inserts and the counters share one lock, so
+    the threaded serving daemon (:mod:`repro.serve`) can consult the
+    cache from every request handler and still read consistent
+    ``/stats`` snapshots.  Results are immutable, so a hit needs no
+    defensive copy; the lock only covers the LRU bookkeeping.  The lock
+    is per instance and never pickled — caches are built worker-side
+    from a :class:`~repro.parallel.spec.CacheSpec`.
+    """
 
     def __init__(self, capacity: int = 1024):
         if capacity < 1:
@@ -57,24 +67,33 @@ class ResultCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[object, ...], CoSKQResult]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: Tuple[object, ...]) -> Optional[CoSKQResult]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
 
     def put(self, key: Tuple[object, ...], result: CoSKQResult) -> None:
-        self._entries[key] = result
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = result
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def stats_dict(self, prefix: str = "") -> Dict[str, int]:
+        """A consistent counter snapshot (all four read under the lock)."""
+        with self._lock:
+            return self.stats.as_dict(prefix)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return "ResultCache(%d/%d, hits=%d)" % (

@@ -82,6 +82,21 @@ class ChaosSpec:
     flaky_once: Tuple[str, ...] = ()
     fail_method: Tuple[str, ...] = ()
     fail_nth: Tuple[int, ...] = ()
+    #: Injected slowness: every ``latency_every``-th index call sleeps
+    #: ``latency_s`` on the plan's clock (virtual under a ManualClock).
+    #: ``latency_every=0`` disables it.
+    latency_s: float = 0.0
+    latency_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.latency_every < 0:
+            raise InvalidParameterError(
+                "latency_s and latency_every must be >= 0"
+            )
+        if (self.latency_s > 0) != (self.latency_every > 0):
+            raise InvalidParameterError(
+                "latency_s and latency_every must be set together"
+            )
 
     def plan_for(self, query_index: int) -> FaultPlan:
         """The fault plan of query ``query_index``, order-independent."""
@@ -94,6 +109,8 @@ class ChaosSpec:
             plan.fail_method(method)
         if self.fail_nth:
             plan.fail_nth(*self.fail_nth)
+        if self.latency_every:
+            plan.latency(self.latency_s, every=self.latency_every)
         return plan
 
 

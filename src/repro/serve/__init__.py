@@ -1,0 +1,70 @@
+"""repro.serve — the resilient CoSKQ serving daemon.
+
+The paper's solvers answer one query; this package keeps them answering
+**under traffic**.  A stdlib-only HTTP/JSON daemon builds the index
+once, runs every request through a per-request
+:class:`~repro.exec.policy.ExecutionPolicy` deadline and
+:class:`~repro.exec.fallback.FallbackChain` (exact → approximation →
+cheapest), and degrades instead of erroring:
+
+- a deadline-expired request returns the best fallback answer with its
+  :class:`~repro.exec.fallback.ExecutionProvenance` serialized in the
+  response body;
+- taxonomy-typed failures map to distinct, documented HTTP statuses
+  (:data:`~repro.serve.service.OUTCOME_STATUS`);
+- an admission controller sheds load with 429 + ``Retry-After`` past a
+  configurable in-flight bound;
+- ``/stats`` exposes outcome/stage/failure counters, cache hit rates
+  and latency percentiles from a ring buffer, all behind locks so a
+  mid-storm snapshot is consistent.
+
+Quickstart::
+
+    from repro.data.generators import hotel_like
+    from repro.serve import ServerConfig, create_server
+
+    server = create_server(hotel_like(scale=0.1), ServerConfig(port=0))
+    server.serve_background()
+    print(server.url)   # POST /query, GET /healthz /stats /vocabulary
+
+The load generator lives in :mod:`repro.serve.client`; the
+chaos-under-traffic acceptance harness is ``tests/test_serve_chaos.py``
+(``make serve-check``).  ``docs/SERVING.md`` is the reference.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.config import (
+    DEFAULT_CHAIN,
+    DEFAULT_DEADLINE_MS,
+    DEFAULT_MAX_INFLIGHT,
+    ServerConfig,
+)
+from repro.serve.httpd import CoSKQRequestHandler, CoSKQServer, create_server
+from repro.serve.service import (
+    OUTCOME_STATUS,
+    QueryService,
+    ServeResponse,
+    provenance_to_dict,
+)
+from repro.serve.stats import OUTCOMES, ServerStats
+
+__all__ = [
+    # configuration
+    "ServerConfig",
+    "DEFAULT_CHAIN",
+    "DEFAULT_DEADLINE_MS",
+    "DEFAULT_MAX_INFLIGHT",
+    # the service core
+    "QueryService",
+    "ServeResponse",
+    "OUTCOME_STATUS",
+    "OUTCOMES",
+    "provenance_to_dict",
+    # HTTP
+    "CoSKQServer",
+    "CoSKQRequestHandler",
+    "create_server",
+    # telemetry / admission
+    "ServerStats",
+    "AdmissionController",
+]

@@ -1,0 +1,95 @@
+"""Load shedding: a bounded in-flight admission controller.
+
+:class:`ThreadingHTTPServer` spawns one thread per connection with no
+upper bound, so under overload the naive daemon queues unbounded CoSKQ
+searches and every request's deadline expires in line.  The
+:class:`AdmissionController` caps how many ``/query`` requests may solve
+concurrently: past the bound a request is *shed* immediately — HTTP 429
+with a ``Retry-After`` hint — which keeps the admitted requests inside
+their deadlines and gives the well-behaved client
+(:mod:`repro.serve.client`) a precise backoff signal.
+
+Shedding is deliberately the cheapest path through the server: one lock
+acquisition, no index work, no solver construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A counting gate over concurrently admitted requests.
+
+    ``limit=0`` is drain mode (every request sheds).  Use as::
+
+        if not admission.try_acquire():
+            shed(retry_after=admission.retry_after_s)
+        try:
+            ...solve...
+        finally:
+            admission.release()
+    """
+
+    def __init__(self, limit: int, retry_after_s: float = 0.05):
+        if limit < 0:
+            raise InvalidParameterError("admission limit must be >= 0")
+        if retry_after_s <= 0:
+            raise InvalidParameterError("retry_after_s must be positive")
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._peak = 0
+        self._admitted = 0
+        self._shed = 0
+
+    def try_acquire(self) -> bool:
+        """Admit the calling request, or refuse without blocking."""
+        with self._lock:
+            if self._inflight >= self.limit:
+                self._shed += 1
+                return False
+            self._inflight += 1
+            self._admitted += 1
+            if self._inflight > self._peak:
+                self._peak = self._inflight
+            return True
+
+    def release(self) -> None:
+        """Return one admitted slot (exactly once per ``try_acquire``)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise InvalidParameterError(
+                    "release() without a matching try_acquire()"
+                )
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-ready counters for ``/stats``."""
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak,
+                "admitted": self._admitted,
+                "shed": self._shed,
+            }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return "AdmissionController(%d/%d inflight, shed=%d)" % (
+            snap["inflight"],
+            snap["limit"],
+            snap["shed"],
+        )

@@ -1,0 +1,420 @@
+"""The load generator: concurrent traffic with retry/backoff/jitter.
+
+``python -m repro.serve.client http://HOST:PORT --requests 200`` hammers
+a running daemon and emits one summary JSON per run — client-observed
+outcome tallies, latency percentiles, retry counts — the other half of
+the chaos-under-traffic verification: the daemon's ``/stats`` outcome
+totals must equal this client's tally exactly, because every HTTP
+response the client receives was counted server-side before it was
+written.
+
+The client is well-behaved by construction:
+
+- a 429 (shed) is retried after the server's ``Retry-After`` hint plus
+  seeded jitter (full jitter halves the thundering herd that fixed
+  backoff would re-synchronize);
+- every retry is a *new* HTTP request and is tallied separately, so the
+  reconciliation invariant stays bit-for-bit;
+- workloads are deterministic in their seed: random mode samples
+  locations from the daemon's advertised bounds and keywords from its
+  ``/vocabulary`` endpoint via named substreams.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.exec.clock import Clock, MonotonicClock
+from repro.utils.rng import substream
+from repro.utils.stats import percentile
+
+__all__ = [
+    "RequestRecord",
+    "LoadSummary",
+    "LoadClient",
+    "load_workload_file",
+    "random_workload",
+    "main",
+]
+
+
+@dataclass
+class RequestRecord:
+    """One logical query: its final fate plus every response on the way."""
+
+    outcome: str
+    status: int
+    attempts: int
+    latency_ms: float
+    feasible: Optional[bool] = None
+    answered_by: Optional[str] = None
+    degraded: bool = False
+
+
+@dataclass
+class LoadSummary:
+    """Client-observed totals for one run (the reconciliation ledger).
+
+    ``responses_by_outcome`` counts every HTTP response received —
+    including each shed retry — which is exactly what the daemon counts
+    server-side.  ``queries_by_final_outcome`` counts logical queries by
+    how they ended after retries.
+    """
+
+    requests: int = 0
+    responses_by_outcome: "Counter[str]" = field(default_factory=Counter)
+    responses_by_status: "Counter[int]" = field(default_factory=Counter)
+    queries_by_final_outcome: "Counter[str]" = field(default_factory=Counter)
+    retries: int = 0
+    transport_errors: int = 0
+    infeasible_answers: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        latencies = sorted(self.latencies_ms)
+        latency: Dict[str, object] = {"count": len(latencies)}
+        if latencies:
+            for label, fraction in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+                latency[label + "_ms"] = percentile(latencies, fraction)
+            latency["max_ms"] = latencies[-1]
+        return {
+            "requests": self.requests,
+            "responses_by_outcome": dict(sorted(self.responses_by_outcome.items())),
+            "responses_by_status": {
+                str(k): v for k, v in sorted(self.responses_by_status.items())
+            },
+            "queries_by_final_outcome": dict(
+                sorted(self.queries_by_final_outcome.items())
+            ),
+            "retries": self.retries,
+            "transport_errors": self.transport_errors,
+            "infeasible_answers": self.infeasible_answers,
+            "latency": latency,
+        }
+
+
+class LoadClient:
+    """A concurrent, retrying HTTP client for one serving daemon."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        max_retries: int = 5,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        seed: int = 0,
+        clock: Optional[Clock] = None,
+    ):
+        if timeout_s <= 0 or backoff_base_s <= 0 or backoff_cap_s <= 0:
+            raise InvalidParameterError("timeouts and backoffs must be positive")
+        if max_retries < 0:
+            raise InvalidParameterError("max_retries must be >= 0")
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.seed = seed
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._lock = threading.Lock()
+        self.summary = LoadSummary()
+
+    # -- plain HTTP --------------------------------------------------------------
+
+    def get_json(self, path: str) -> Dict[str, object]:
+        """GET a JSON endpoint (``/healthz``, ``/stats``, ``/vocabulary``)."""
+        with urllib.request.urlopen(
+            self.base_url + path, timeout=self.timeout_s
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def _post_query(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """One POST /query; returns (status, body, headers) without raising
+        on HTTP error statuses (the error body is the interesting part)."""
+        data = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + "/query",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                body = json.loads(response.read().decode("utf-8"))
+                return response.status, body, dict(response.headers.items())
+        except urllib.error.HTTPError as err:
+            raw = err.read()
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                body = {"outcome": "internal", "error": {"type": "UnreadableBody"}}
+            return err.code, body, dict(err.headers.items() if err.headers else ())
+
+    # -- one logical query with retry/backoff ------------------------------------
+
+    def query(
+        self,
+        payload: Dict[str, object],
+        rng=None,
+    ) -> RequestRecord:
+        """Run one query to completion, retrying sheds with backoff."""
+        rng = rng if rng is not None else substream(self.seed, "serve-client")
+        attempts = 0
+        started = self.clock.now()
+        while True:  # repro: noqa(R11) — client retry loop, bounded by max_retries
+            attempts += 1
+            try:
+                status, body, headers = self._post_query(payload)
+            except (urllib.error.URLError, OSError, ValueError) as err:
+                with self._lock:
+                    self.summary.requests += 1
+                    self.summary.transport_errors += 1
+                    self.summary.queries_by_final_outcome["transport_error"] += 1
+                return RequestRecord(
+                    outcome="transport_error:%s" % type(err).__name__,
+                    status=0,
+                    attempts=attempts,
+                    latency_ms=(self.clock.now() - started) * 1000.0,
+                )
+            outcome = str(body.get("outcome", "internal"))
+            with self._lock:
+                self.summary.requests += 1
+                self.summary.responses_by_outcome[outcome] += 1
+                self.summary.responses_by_status[status] += 1
+            if status == 429 and attempts <= self.max_retries:
+                with self._lock:
+                    self.summary.retries += 1
+                self.clock.sleep(self._backoff(attempts, headers, rng))
+                continue
+            latency_ms = (self.clock.now() - started) * 1000.0
+            record = self._finish(payload, outcome, status, attempts, latency_ms, body)
+            return record
+
+    def _backoff(self, attempts: int, headers: Dict[str, str], rng) -> float:
+        """Server hint + capped exponential with full jitter."""
+        hinted = 0.0
+        hint_ms = headers.get("X-Retry-After-Ms")
+        if hint_ms is not None:
+            try:
+                hinted = int(hint_ms) / 1000.0
+            except ValueError:
+                hinted = 0.0
+        exponential = min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** (attempts - 1))
+        )
+        return hinted + rng.random() * exponential
+
+    def _finish(
+        self,
+        payload: Dict[str, object],
+        outcome: str,
+        status: int,
+        attempts: int,
+        latency_ms: float,
+        body: Dict[str, object],
+    ) -> RequestRecord:
+        feasible: Optional[bool] = None
+        answered_by: Optional[str] = None
+        degraded = False
+        if status == 200:
+            requested = set(payload.get("keywords", ()))
+            covered: set = set()
+            for obj in body.get("objects", ()):
+                covered.update(obj.get("keywords", ()))
+            feasible = requested <= covered
+            provenance = body.get("provenance")
+            if isinstance(provenance, dict):
+                answered_by = provenance.get("answered_by")
+                degraded = bool(provenance.get("degraded"))
+        with self._lock:
+            self.summary.queries_by_final_outcome[outcome] += 1
+            self.summary.latencies_ms.append(latency_ms)
+            if feasible is False:
+                self.summary.infeasible_answers += 1
+        return RequestRecord(
+            outcome=outcome,
+            status=status,
+            attempts=attempts,
+            latency_ms=latency_ms,
+            feasible=feasible,
+            answered_by=answered_by,
+            degraded=degraded,
+        )
+
+    # -- the concurrent run ------------------------------------------------------
+
+    def run(
+        self, payloads: Sequence[Dict[str, object]], concurrency: int = 8
+    ) -> List[RequestRecord]:
+        """Drive every payload through ``concurrency`` worker threads."""
+        if concurrency < 1:
+            raise InvalidParameterError("concurrency must be >= 1")
+        records: List[Optional[RequestRecord]] = [None] * len(payloads)
+        cursor = iter(range(len(payloads)))
+        cursor_lock = threading.Lock()
+
+        def worker(worker_id: int) -> None:
+            rng = substream(self.seed, "serve-client-%d" % worker_id)
+            while True:  # repro: noqa(R11) — worker loop, bounded by the payload list
+                with cursor_lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                records[index] = self.query(payloads[index], rng=rng)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), daemon=True)
+            for w in range(min(concurrency, max(1, len(payloads))))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [record for record in records if record is not None]
+
+
+# -- workload construction -------------------------------------------------------
+
+
+def load_workload_file(path: str) -> List[Dict[str, object]]:
+    """Query payloads from a TSV file (``x<TAB>y<TAB>word word ...``)."""
+    payloads: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 3:
+                raise InvalidParameterError(
+                    "%s:%d: expected x<TAB>y<TAB>words" % (path, line_number)
+                )
+            payloads.append(
+                {
+                    "x": float(parts[0]),
+                    "y": float(parts[1]),
+                    "keywords": parts[2].split(),
+                }
+            )
+    if not payloads:
+        raise InvalidParameterError("workload file %s has no queries" % path)
+    return payloads
+
+
+def random_workload(
+    client: LoadClient,
+    count: int,
+    seed: int = 0,
+    keywords_per_query: Tuple[int, int] = (1, 3),
+    vocabulary_limit: int = 50,
+) -> List[Dict[str, object]]:
+    """A seeded workload over the daemon's own bounds and vocabulary."""
+    if count < 1:
+        raise InvalidParameterError("count must be >= 1")
+    health = client.get_json("/healthz")
+    vocabulary = client.get_json("/vocabulary?limit=%d" % vocabulary_limit)
+    words = [entry["word"] for entry in vocabulary["words"]]
+    if not words:
+        raise InvalidParameterError("the daemon advertises an empty vocabulary")
+    min_x, min_y, max_x, max_y = health["bounds"]
+    rng = substream(seed, "serve-workload")
+    low, high = keywords_per_query
+    payloads: List[Dict[str, object]] = []
+    for _ in range(count):
+        size = rng.randint(low, min(high, len(words)))
+        payloads.append(
+            {
+                "x": rng.uniform(min_x, max_x),
+                "y": rng.uniform(min_y, max_y),
+                "keywords": rng.sample(words, size),
+            }
+        )
+    return payloads
+
+
+# -- the CLI ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="Load-generate against a running coskq-serve daemon.",
+    )
+    parser.add_argument("url", help="daemon base URL, e.g. http://127.0.0.1:8787")
+    parser.add_argument("--requests", type=int, default=100, metavar="N")
+    parser.add_argument("--concurrency", type=int, default=8, metavar="T")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--file",
+        default=None,
+        metavar="TSV",
+        help="workload file (x<TAB>y<TAB>words) instead of a random workload",
+    )
+    parser.add_argument("--deadline-ms", type=float, default=None, metavar="MS")
+    parser.add_argument("--chain", default=None, metavar="SPEC")
+    parser.add_argument("--timeout-s", type=float, default=10.0, metavar="S")
+    parser.add_argument("--max-retries", type=int, default=5, metavar="K")
+    parser.add_argument(
+        "--output", default=None, metavar="JSON", help="write the summary here"
+    )
+    parser.add_argument(
+        "--reconcile",
+        action="store_true",
+        help="fetch /stats afterwards and include the server-side totals",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    client = LoadClient(
+        args.url,
+        timeout_s=args.timeout_s,
+        max_retries=args.max_retries,
+        seed=args.seed,
+    )
+    try:
+        if args.file is not None:
+            payloads = load_workload_file(args.file)
+        else:
+            payloads = random_workload(client, args.requests, seed=args.seed)
+        for payload in payloads:
+            if args.deadline_ms is not None:
+                payload["deadline_ms"] = args.deadline_ms
+            if args.chain is not None:
+                payload["chain"] = args.chain
+        client.run(payloads, concurrency=args.concurrency)
+        report: Dict[str, object] = {"client": client.summary.as_dict()}
+        if args.reconcile:
+            stats = client.get_json("/stats")
+            report["server"] = stats
+            report["reconciled"] = (
+                stats["by_outcome"]
+                == {
+                    outcome: client.summary.responses_by_outcome.get(outcome, 0)
+                    for outcome in stats["by_outcome"]
+                }
+            )
+    except (OSError, urllib.error.URLError, InvalidParameterError) as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Declarative configuration for the CoSKQ serving daemon.
+
+:class:`ServerConfig` is the whole daemon reduced to primitives — which
+dataset, which fallback chain, which envelope each request runs inside,
+how much concurrency the admission controller admits, and (for the
+chaos-under-traffic harness) an optional per-request fault schedule.
+Keeping it a frozen dataclass mirrors :mod:`repro.parallel.spec`: the
+config doubles as documentation of every serving knob and is trivially
+buildable from CLI flags or tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+from repro.index.cache import DEFAULT_CACHE_CAPACITY
+from repro.parallel.spec import CACHE_MODES, ChaosSpec
+
+__all__ = [
+    "ServerConfig",
+    "DEFAULT_CHAIN",
+    "DEFAULT_DEADLINE_MS",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_LATENCY_WINDOW",
+]
+
+#: The default degradation order: exact answer when time permits, the
+#: paper's constant-ratio approximation when it does not, and the cheap
+#: ``N(q)`` last resort that always answers.
+DEFAULT_CHAIN = "maxsum-exact,maxsum-appro,nn-set"
+
+#: Default per-request wall-clock envelope (milliseconds).
+DEFAULT_DEADLINE_MS = 250.0
+
+#: Default admission bound: requests solving concurrently before the
+#: controller starts shedding with 429.
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Default latency ring-buffer size for the ``/stats`` percentiles.
+DEFAULT_LATENCY_WINDOW = 2048
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Every serving knob, reduced to primitives.
+
+    ``max_inflight=0`` is drain mode: the admission controller sheds
+    every ``/query`` request (``/healthz`` and ``/stats`` stay up), the
+    shape a load balancer sees while an instance is being rotated out.
+
+    ``max_deadline_ms`` caps per-request ``deadline_ms`` overrides so a
+    client cannot demand an unbounded exact search; overrides above the
+    cap are clamped, never rejected.
+
+    ``chaos`` installs a deterministic per-request fault schedule
+    (:class:`~repro.parallel.spec.ChaosSpec`): request ``n`` solves
+    against an index sabotaged by ``chaos.plan_for(n)``, the same
+    order-independence design the parallel engine uses.  Result caching
+    under chaos is rejected for the same reason
+    :class:`~repro.parallel.spec.WorkerEnv` rejects it — a cached answer
+    would skip the fault plan.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    chain: str = DEFAULT_CHAIN
+    cost: Optional[str] = None
+    deadline_ms: Optional[float] = DEFAULT_DEADLINE_MS
+    work_budget: Optional[int] = None
+    max_retries: int = 1
+    always_answer: bool = True
+    max_deadline_ms: Optional[float] = 5_000.0
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    retry_after_s: float = 0.05
+    cache_mode: str = "index"
+    index_cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    result_cache_capacity: int = 1024
+    latency_window: int = DEFAULT_LATENCY_WINDOW
+    max_entries: int = 16
+    chaos: Optional[ChaosSpec] = field(default=None)
+    #: Log one line per request to stderr (off by default: the load
+    #: generator would drown the terminal).
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 0:
+            raise InvalidParameterError("max_inflight must be >= 0 (0 = drain)")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise InvalidParameterError("deadline_ms must be positive")
+        if self.max_deadline_ms is not None and self.max_deadline_ms <= 0:
+            raise InvalidParameterError("max_deadline_ms must be positive")
+        if self.work_budget is not None and self.work_budget < 0:
+            raise InvalidParameterError("work_budget must be >= 0")
+        if self.max_retries < 0:
+            raise InvalidParameterError("max_retries must be >= 0")
+        if self.retry_after_s <= 0:
+            raise InvalidParameterError("retry_after_s must be positive")
+        if self.cache_mode not in CACHE_MODES:
+            raise InvalidParameterError(
+                "unknown cache mode %r; known: %s"
+                % (self.cache_mode, list(CACHE_MODES))
+            )
+        if self.latency_window < 1:
+            raise InvalidParameterError("latency_window must be >= 1")
+        if self.chaos is not None and self.caches_results:
+            raise InvalidParameterError(
+                "result caching under chaos is unsound: a cached answer "
+                "skips the fault plan (see docs/PARALLELISM.md)"
+            )
+
+    @property
+    def caches_index(self) -> bool:
+        return self.cache_mode in ("index", "full")
+
+    @property
+    def caches_results(self) -> bool:
+        return self.cache_mode in ("result", "full")
+
+    def clamp_deadline(self, deadline_ms: Optional[float]) -> Optional[float]:
+        """A per-request deadline override, held under the server cap."""
+        if deadline_ms is None:
+            return self.deadline_ms
+        if self.max_deadline_ms is not None:
+            return min(deadline_ms, self.max_deadline_ms)
+        return deadline_ms

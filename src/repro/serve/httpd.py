@@ -1,0 +1,168 @@
+"""The stdlib HTTP face of the daemon: routing, headers, lifecycle.
+
+:class:`CoSKQServer` is a :class:`http.server.ThreadingHTTPServer`
+carrying one shared :class:`~repro.serve.service.QueryService`; the
+handler is a thin transport — parse the path, hand bytes to the
+service, write the :class:`~repro.serve.service.ServeResponse` back.
+All semantics (admission, degradation, status mapping, stats) live in
+the service so they are testable without sockets.
+
+Endpoints (``docs/SERVING.md`` documents the payloads):
+
+- ``POST /query``      — solve one CoSKQ request (JSON body);
+- ``GET  /healthz``    — liveness + dataset shape;
+- ``GET  /stats``      — outcome/stage/failure counters, latency
+  percentiles, cache hit rates, admission counters;
+- ``GET  /vocabulary`` — most frequent keywords (for load generators).
+
+The handler writes every response itself — including the 404/405 edges
+— so a client always receives JSON with an ``outcome``/``error`` shape,
+never a stock HTML error page.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import CoSKQError
+from repro.exec.clock import Clock
+from repro.model.dataset import Dataset
+from repro.serve.config import ServerConfig
+from repro.serve.service import QueryService, ServeResponse
+
+__all__ = ["CoSKQServer", "CoSKQRequestHandler", "create_server"]
+
+#: Largest accepted ``/query`` body; bigger requests are rejected with
+#: 400 before being read into memory.
+MAX_BODY_BYTES = 1 << 20
+
+
+class CoSKQRequestHandler(BaseHTTPRequestHandler):
+    """Transport only: route, delegate to the service, write JSON."""
+
+    server: "CoSKQServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        path = urlparse(self.path).path
+        if path != "/query":
+            self._write_simple(404, {"error": {"type": "NotFound", "message": path}})
+            return
+        try:
+            body = self._read_body()
+        except CoSKQError as err:
+            # Body-size refusals are still counted (as bad_request) so
+            # /stats reconciles with the client-side tally.
+            self._write_response(self.server.service.reject_bad_request(str(err)))
+            return
+        response = self.server.service.handle_query(body)
+        self._write_response(response)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        parsed = urlparse(self.path)
+        service = self.server.service
+        try:
+            if parsed.path == "/healthz":
+                self._write_simple(200, service.health_payload())
+            elif parsed.path == "/stats":
+                self._write_simple(200, service.stats_payload())
+            elif parsed.path == "/vocabulary":
+                query = parse_qs(parsed.query)
+                limit = int(query.get("limit", ["50"])[0])
+                self._write_simple(200, service.vocabulary_payload(limit=limit))
+            else:
+                self._write_simple(
+                    404, {"error": {"type": "NotFound", "message": parsed.path}}
+                )
+        except (CoSKQError, ValueError) as err:
+            self._write_simple(
+                400, {"error": {"type": type(err).__name__, "message": str(err)}}
+            )
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _read_body(self) -> bytes:
+        from repro.errors import InvalidParameterError
+
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise InvalidParameterError("Content-Length is not an integer")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise InvalidParameterError(
+                "request body must be 0..%d bytes" % MAX_BODY_BYTES
+            )
+        return self.rfile.read(length)
+
+    def _write_response(self, response: ServeResponse) -> None:
+        body = response.body()
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if response.retry_after_s is not None:
+            # Retry-After takes integral seconds; never hint 0 (a client
+            # would hammer), so round up to at least one.
+            self.send_header(
+                "Retry-After", str(max(1, int(response.retry_after_s + 0.999)))
+            )
+            self.send_header(
+                "X-Retry-After-Ms", "%d" % int(response.retry_after_s * 1000)
+            )
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _write_simple(self, status: int, payload: Dict[str, object]) -> None:
+        self._write_response(ServeResponse(status=status, payload=payload))
+
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.service.config.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+class CoSKQServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`.
+
+    ``daemon_threads`` is on so a handler wedged by injected chaos
+    latency can never block process exit, and ``allow_reuse_address``
+    keeps restart loops from tripping over TIME_WAIT sockets.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService):
+        super().__init__(address, CoSKQRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def serve_background(self) -> threading.Thread:
+        """Serve from a daemon thread (tests, chaos harnesses)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="coskq-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def create_server(
+    dataset: Dataset,
+    config: Optional[ServerConfig] = None,
+    clock: Optional[Clock] = None,
+) -> CoSKQServer:
+    """A warmed server on ``config.host:config.port`` (port 0 = ephemeral)."""
+    config = config if config is not None else ServerConfig()
+    service = QueryService(dataset, config, clock=clock)
+    service.warm()
+    return CoSKQServer((config.host, config.port), service)

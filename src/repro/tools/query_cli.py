@@ -18,6 +18,28 @@ The dataset file uses the library's text format — one object per line,
 (:func:`repro.data.queries.load_query_file`); the batch runs on the
 process-parallel engine (:mod:`repro.parallel`) with per-query failure
 isolation — the exit code is 0 only when every query answered.
+
+Exit codes (scriptable; also tabulated in ``docs/ROBUSTNESS.md``):
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     answered
+1     library error outside the execution taxonomy (bad dataset,
+      infeasible query, unknown keyword, I/O failure)
+2     usage error (bad flag combination)
+3     ``SearchAbortedError`` — a solver stopped mid-search
+4     ``DeadlineExceededError`` — the wall-clock deadline expired
+5     ``BudgetExceededError`` — the work budget ran out
+6     ``InjectedFaultError`` — a chaos fault surfaced uncaught
+7     ``ExecutionFailedError`` — every fallback stage failed
+====  ==========================================================
+
+Subclass checks run most-specific-first, so a deadline abort exits 4
+even though it is also a ``SearchAbortedError``.  With the default
+``always_answer`` policy the resilient path degrades instead of
+failing; ``--hard-deadline`` makes the envelope a hard wall for every
+stage, which is how the non-zero taxonomy exits become reachable.
 """
 
 from __future__ import annotations
@@ -30,12 +52,52 @@ from repro.algorithms.base import SearchContext
 from repro.algorithms.registry import ALGORITHM_NAMES, make_algorithm
 from repro.algorithms.topk import TopKCoSKQ
 from repro.cost.functions import ALL_COSTS, cost_by_name
-from repro.errors import CoSKQError
+from repro.errors import (
+    BudgetExceededError,
+    CoSKQError,
+    DeadlineExceededError,
+    ExecutionError,
+    ExecutionFailedError,
+    InjectedFaultError,
+    SearchAbortedError,
+)
 from repro.model.dataset import Dataset
 from repro.model.query import Query
 from repro.parallel.spec import CACHE_MODES
 
-__all__ = ["main"]
+__all__ = ["main", "exit_code_for", "EXIT_CODES"]
+
+#: The documented exit-code table (module docstring / docs/ROBUSTNESS.md).
+EXIT_CODES = {
+    "ok": 0,
+    "error": 1,
+    "usage": 2,
+    SearchAbortedError.__name__: 3,
+    DeadlineExceededError.__name__: 4,
+    BudgetExceededError.__name__: 5,
+    InjectedFaultError.__name__: 6,
+    ExecutionFailedError.__name__: 7,
+}
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The documented exit code of an execution-taxonomy failure.
+
+    Most-specific-first: the deadline/budget subclasses win over their
+    ``SearchAbortedError`` base; anything outside the taxonomy is the
+    generic failure exit.
+    """
+    if isinstance(error, DeadlineExceededError):
+        return EXIT_CODES[DeadlineExceededError.__name__]
+    if isinstance(error, BudgetExceededError):
+        return EXIT_CODES[BudgetExceededError.__name__]
+    if isinstance(error, SearchAbortedError):
+        return EXIT_CODES[SearchAbortedError.__name__]
+    if isinstance(error, InjectedFaultError):
+        return EXIT_CODES[InjectedFaultError.__name__]
+    if isinstance(error, ExecutionFailedError):
+        return EXIT_CODES[ExecutionFailedError.__name__]
+    return EXIT_CODES["error"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-attempt work budget (search-state expansions etc.)",
     )
+    parser.add_argument(
+        "--hard-deadline",
+        action="store_true",
+        help=(
+            "make --deadline-ms/--budget a hard wall for every stage "
+            "(disables the always-answer exemption of the last stage)"
+        ),
+    )
     return parser
 
 
@@ -164,6 +234,7 @@ def _run_batch(args: argparse.Namespace, dataset: Dataset) -> int:
         cost=args.cost,
         deadline_ms=args.deadline_ms,
         work_budget=args.budget,
+        always_answer=not args.hard_deadline,
     )
     env = WorkerEnv(dataset=dataset, cache=CacheSpec(mode=args.cache))
     with ParallelBatchExecutor(env, spec, workers=args.workers) as engine:
@@ -225,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.fallback is not None
             or args.deadline_ms is not None
             or args.budget is not None
+            or args.hard_deadline
         )
         if resilient and args.top is not None:
             print(
@@ -242,7 +314,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             spec = args.fallback if args.fallback is not None else args.algorithm
             chain = FallbackChain.parse(spec, context, cost=cost)
             policy = ExecutionPolicy(
-                deadline_ms=args.deadline_ms, work_budget=args.budget
+                deadline_ms=args.deadline_ms,
+                work_budget=args.budget,
+                always_answer=not args.hard_deadline,
             )
             result = ResilientExecutor(chain, policy).solve(query)
             _print_result(result, dataset, query, None)
@@ -262,6 +336,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             algorithm = make_algorithm(args.algorithm, context, cost=cost)
             _print_result(algorithm.solve(query), dataset, query, None)
         return 0
+    except ExecutionError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return exit_code_for(exc)
     except CoSKQError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1

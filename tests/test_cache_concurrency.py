@@ -1,0 +1,201 @@
+"""The memoizing caches under thread pressure (the serving daemon's use).
+
+Both caches promise: every lookup increments exactly one of hits/misses,
+the LRU never exceeds its capacity, racing misses converge on one
+canonical entry, and ``stats_dict`` snapshots are internally consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.algorithms.base import SearchContext
+from repro.geometry.point import Point
+from repro.index.cache import CachingIndex
+from repro.model.query import Query
+from repro.model.result import CoSKQResult
+from repro.parallel.cache import ResultCache, result_key
+
+THREADS = 8
+ROUNDS = 40
+
+
+def hammer(worker, threads=THREADS):
+    """Run ``worker(thread_index)`` on many threads; re-raise any failure."""
+    errors = []
+
+    def run(index):
+        try:
+            worker(index)
+        except Exception as err:  # pragma: no cover - surfaced below
+            errors.append(err)
+
+    pool = [
+        threading.Thread(target=run, args=(i,), daemon=True)
+        for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+
+class TestCachingIndexConcurrency:
+    @pytest.fixture()
+    def raw_index(self, tiny_dataset):
+        return SearchContext(tiny_dataset).index
+
+    def test_hammered_lookups_count_and_agree(self, tiny_dataset, raw_index):
+        cache = CachingIndex(raw_index, capacity=64)
+        keywords = tiny_dataset.keywords_by_frequency()[:4]
+        points = [Point(float(i * 7 % 100), float(i * 13 % 100)) for i in range(10)]
+
+        def worker(thread_index):
+            for round_number in range(ROUNDS):
+                point = points[(thread_index + round_number) % len(points)]
+                keyword = keywords[round_number % len(keywords)]
+                got = cache.keyword_nn(point, keyword)
+                expected = raw_index.keyword_nn(point, keyword)
+                assert (got is None) == (expected is None)
+                if got is not None:
+                    assert got[0] == expected[0]
+                    assert got[1].oid == expected[1].oid
+
+        hammer(worker)
+        stats = cache.stats_dict()
+        assert stats["hits"] + stats["misses"] == THREADS * ROUNDS
+        assert stats["misses"] >= len(points) * len(keywords) - stats["evictions"]
+
+    def test_capacity_bound_holds_under_threads(self, tiny_dataset, raw_index):
+        capacity = 8
+        cache = CachingIndex(raw_index, capacity=capacity)
+        keywords = tiny_dataset.keywords_by_frequency()[:6]
+
+        def worker(thread_index):
+            for round_number in range(ROUNDS):
+                point = Point(
+                    float((thread_index * 31 + round_number) % 50),
+                    float((thread_index * 17 + round_number) % 50),
+                )
+                cache.keyword_nn(point, keywords[round_number % len(keywords)])
+
+        hammer(worker)
+        assert len(cache._entries) <= capacity
+        stats = cache.stats_dict()
+        assert stats["evictions"] > 0
+        assert stats["hits"] + stats["misses"] == THREADS * ROUNDS
+
+    def test_racing_misses_converge_on_one_snapshot(self, tiny_dataset, raw_index):
+        cache = CachingIndex(raw_index, capacity=64)
+        query = Query(
+            Point(50.0, 50.0),
+            frozenset(tiny_dataset.keywords_by_frequency()[:3]),
+        )
+        barrier = threading.Barrier(THREADS)
+        results = [None] * THREADS
+
+        def worker(thread_index):
+            barrier.wait()  # all threads miss at once
+            results[thread_index] = cache.nearest_neighbor_set(query)
+
+        hammer(worker)
+        first = results[0]
+        assert all(result == first for result in results)
+        stats = cache.stats_dict()
+        assert stats["hits"] + stats["misses"] == THREADS
+
+    def test_mutating_a_result_cannot_poison_the_cache(
+        self, tiny_dataset, raw_index
+    ):
+        cache = CachingIndex(raw_index, capacity=64)
+        query = Query(
+            Point(10.0, 10.0),
+            frozenset(tiny_dataset.keywords_by_frequency()[:2]),
+        )
+        first = cache.nearest_neighbor_set(query)
+        first.clear()
+        second = cache.nearest_neighbor_set(query)
+        assert second and second != {}
+
+
+class TestResultCacheConcurrency:
+    def make_result(self, label):
+        return CoSKQResult(algorithm=label, objects=(), cost=1.0)
+
+    def test_hammered_get_put_counts_exactly(self, tiny_dataset):
+        cache = ResultCache(capacity=16)
+        keywords = frozenset(tiny_dataset.keywords_by_frequency()[:2])
+        keys = [
+            result_key(
+                Query(Point(float(i), float(i)), keywords), "solver", "maxsum"
+            )
+            for i in range(6)
+        ]
+
+        def worker(thread_index):
+            for round_number in range(ROUNDS):
+                key = keys[(thread_index + round_number) % len(keys)]
+                if cache.get(key) is None:
+                    cache.put(key, self.make_result("r%d" % thread_index))
+
+        hammer(worker)
+        stats = cache.stats_dict()
+        assert stats["hits"] + stats["misses"] == THREADS * ROUNDS
+        assert len(cache) <= 16
+        # steady state: every key resident, no evictions for 6 < 16 keys
+        assert stats["evictions"] == 0
+        assert len(cache) == len(keys)
+
+    def test_capacity_bound_with_eviction_pressure(self, tiny_dataset):
+        cache = ResultCache(capacity=4)
+        keywords = frozenset(tiny_dataset.keywords_by_frequency()[:2])
+
+        def worker(thread_index):
+            for round_number in range(ROUNDS):
+                query = Query(
+                    Point(
+                        float(thread_index * ROUNDS + round_number), 0.0
+                    ),
+                    keywords,
+                )
+                cache.put(
+                    result_key(query, "solver", None),
+                    self.make_result("x"),
+                )
+
+        hammer(worker)
+        assert len(cache) <= 4
+        stats = cache.stats_dict()
+        assert stats["evictions"] == THREADS * ROUNDS - 4
+
+    def test_snapshot_is_internally_consistent_under_load(self, tiny_dataset):
+        cache = ResultCache(capacity=8)
+        keywords = frozenset(tiny_dataset.keywords_by_frequency()[:2])
+        key = result_key(Query(Point(1.0, 1.0), keywords), "solver", None)
+        cache.put(key, self.make_result("seed"))
+        stop = threading.Event()
+        snapshots = []
+
+        def reader(_):
+            while not stop.is_set():
+                snapshots.append(cache.stats_dict())
+
+        def writer(thread_index):
+            for _ in range(ROUNDS * 5):
+                cache.get(key)
+            stop.set()
+
+        reader_thread = threading.Thread(target=reader, args=(0,), daemon=True)
+        reader_thread.start()
+        hammer(writer, threads=4)
+        stop.set()
+        reader_thread.join()
+        final = cache.stats_dict()
+        assert final["hits"] == 4 * ROUNDS * 5
+        # monotone counters: no snapshot may exceed the final tally
+        for snap in snapshots:
+            assert snap["hits"] <= final["hits"]
+            assert snap["misses"] <= final["misses"]

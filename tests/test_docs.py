@@ -28,6 +28,7 @@ class TestFilesExist:
             "EXPERIMENTS.md",
             "docs/ALGORITHMS.md",
             "docs/STATIC_ANALYSIS.md",
+            "docs/SERVING.md",
         ],
     )
     def test_present_and_substantial(self, name):
@@ -72,9 +73,26 @@ class TestReadme:
     def test_cli_names_match_entry_points(self):
         readme = read("README.md")
         pyproject = read("pyproject.toml")
-        for command in ("coskq-bench", "coskq-query"):
+        for command in ("coskq-bench", "coskq-query", "coskq-serve"):
             assert command in readme
             assert command in pyproject
+
+    def test_serving_doc_outcome_table_is_current(self):
+        from repro.serve import OUTCOMES
+
+        serving = read("docs/SERVING.md")
+        for outcome in OUTCOMES:
+            assert "`%s`" % outcome in serving, outcome
+
+    def test_robustness_doc_lists_every_exit_code(self):
+        from repro.tools.query_cli import EXIT_CODES
+
+        robustness = read("docs/ROBUSTNESS.md")
+        for name, code in EXIT_CODES.items():
+            if name in ("ok", "error", "usage"):
+                continue
+            assert name in robustness, name
+            assert str(code) in robustness
 
     def test_documented_algorithms_registered(self):
         # Algorithms named in backticks that look like registry names.

@@ -273,6 +273,72 @@ class TestResilientExecutor:
         assert timing.times.count == 3
 
 
+class TestDeadlineBetweenStages:
+    """The deadline expires *between* fallback stages.
+
+    The serving daemon leans on this exact semantics: a request whose
+    deadline dies after stage 1 must still answer from the exempt last
+    stage, and the provenance must name every stage that was skipped
+    without ever running (so ``/stats`` failure classes and the response
+    provenance agree on what happened).
+    """
+
+    def test_skipped_stages_recorded_and_last_stage_answers(self, answer):
+        clock = ManualClock()
+        slow = _SlowStage("slow", clock, 10.0)
+        skipped = _StubStage("skipped", [AssertionError("must not run")])
+        last = _StubStage("last", [answer])
+        executor = ResilientExecutor(
+            FallbackChain([slow, skipped, last]),
+            ExecutionPolicy(deadline_ms=500.0, always_answer=True),
+            clock=clock,
+        )
+        result = executor.solve(Query.create(0.0, 0.0, [0]))
+        # the middle stage was pre-empted before its solve() ever ran
+        assert skipped.calls == 0
+        assert last.calls == 1
+        prov = result.provenance
+        assert prov.answered_by == "last"
+        assert prov.degraded is True
+        assert [f.stage for f in prov.failures] == ["slow", "skipped"]
+        assert [f.error_type for f in prov.failures] == [
+            "DeadlineExceededError",
+            "DeadlineExceededError",
+        ]
+
+    def test_result_comes_from_last_completed_stage_not_a_raise(self, answer):
+        clock = ManualClock()
+        slow = _SlowStage("slow", clock, 10.0)
+        last = _StubStage("last", [answer])
+        executor = ResilientExecutor(
+            FallbackChain([slow, last]),
+            ExecutionPolicy(deadline_ms=1.0, always_answer=True),
+            clock=clock,
+        )
+        result = executor.solve(Query.create(0.0, 0.0, [0]))
+        assert result.cost == answer.cost
+        assert result.object_ids == answer.object_ids
+
+    def test_hard_wall_lists_every_starved_stage(self):
+        clock = ManualClock()
+        slow = _SlowStage("slow", clock, 10.0)
+        second = _StubStage("second", [AssertionError("must not run")])
+        third = _StubStage("third", [AssertionError("must not run")])
+        executor = ResilientExecutor(
+            FallbackChain([slow, second, third]),
+            ExecutionPolicy(deadline_ms=500.0, always_answer=False),
+            clock=clock,
+        )
+        with pytest.raises(ExecutionFailedError) as info:
+            executor.solve(Query.create(0.0, 0.0, [0]))
+        assert [f.stage for f in info.value.failures] == [
+            "slow",
+            "second",
+            "third",
+        ]
+        assert second.calls == 0 and third.calls == 0
+
+
 class TestBatchExecutor:
     def test_isolation_one_poisoned_query_does_not_kill_batch(
         self, tiny_queries, answer

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.exec",
     "repro.parallel",
+    "repro.serve",
 ]
 
 

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.data.generators import uniform_dataset
-from repro.tools.query_cli import main
+from repro.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    ExecutionFailedError,
+    InjectedFaultError,
+    SearchAbortedError,
+)
+from repro.tools.query_cli import EXIT_CODES, exit_code_for, main
 
 
 @pytest.fixture(scope="module")
@@ -83,6 +90,86 @@ class TestQueryCli:
         code = main(["--demo", "--at", "500", "500", "--keywords", "w0000", "w0001"])
         assert code == 0
         assert "cost" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The documented taxonomy exit-code table (docs/ROBUSTNESS.md)."""
+
+    def test_table_is_complete_and_distinct(self):
+        assert EXIT_CODES == {
+            "ok": 0,
+            "error": 1,
+            "usage": 2,
+            "SearchAbortedError": 3,
+            "DeadlineExceededError": 4,
+            "BudgetExceededError": 5,
+            "InjectedFaultError": 6,
+            "ExecutionFailedError": 7,
+        }
+        assert len(set(EXIT_CODES.values())) == len(EXIT_CODES)
+
+    @pytest.mark.parametrize(
+        "error,code",
+        [
+            (SearchAbortedError("stopped"), 3),
+            (DeadlineExceededError(10.0, 11.0), 4),
+            (BudgetExceededError("states_expanded", 100, 101), 5),
+            (InjectedFaultError("keyword_nn", 1), 6),
+            (ExecutionFailedError([ValueError("x")]), 7),
+        ],
+    )
+    def test_taxonomy_classes_map_most_specific_first(self, error, code):
+        assert exit_code_for(error) == code
+
+    def test_unrelated_errors_are_generic(self):
+        assert exit_code_for(ValueError("nope")) == 1
+        assert exit_code_for(OSError("disk")) == 1
+
+    def test_hard_deadline_run_exits_7(self, dataset_file, capsys):
+        words = frequent_words(dataset_file, 2)
+        code = main(
+            [
+                dataset_file,
+                "--at", "500", "500",
+                "--keywords", *words,
+                "--fallback", "maxsum-exact -> maxsum-appro",
+                "--deadline-ms", "0.0001",
+                "--hard-deadline",
+            ]
+        )
+        assert code == EXIT_CODES["ExecutionFailedError"]
+        assert "error:" in capsys.readouterr().err
+
+    def test_soft_deadline_still_answers(self, dataset_file, capsys):
+        words = frequent_words(dataset_file, 2)
+        code = main(
+            [
+                dataset_file,
+                "--at", "500", "500",
+                "--keywords", *words,
+                "--fallback", "maxsum-exact -> nn-set",
+                "--deadline-ms", "0.0001",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded to nn-set" in out
+
+    def test_hard_deadline_without_fallback_uses_algorithm(
+        self, dataset_file, capsys
+    ):
+        words = frequent_words(dataset_file, 2)
+        code = main(
+            [
+                dataset_file,
+                "--at", "500", "500",
+                "--keywords", *words,
+                "--deadline-ms", "0.0001",
+                "--hard-deadline",
+            ]
+        )
+        # a single-stage chain under a hard wall: exit 7 (chain failed)
+        assert code == EXIT_CODES["ExecutionFailedError"]
 
 
 @pytest.fixture(scope="module")

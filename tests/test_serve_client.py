@@ -1,0 +1,150 @@
+"""The load generator: workloads, retry-on-shed, summary bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generators import uniform_dataset
+from repro.errors import InvalidParameterError
+from repro.serve import ServerConfig, create_server
+from repro.serve.client import LoadClient, load_workload_file, random_workload
+
+
+@pytest.fixture(scope="module")
+def serve_dataset():
+    return uniform_dataset(120, 12, mean_keywords=2.5, seed=23, name="client")
+
+
+def start_server(dataset, **overrides):
+    config = ServerConfig(port=0, **overrides)
+    server = create_server(dataset, config)
+    server.serve_background()
+    return server
+
+
+class TestWorkloadFile:
+    def test_parses_tsv(self, tmp_path):
+        path = tmp_path / "load.tsv"
+        path.write_text(
+            "# a comment\n"
+            "10.0\t20.0\tmuseum spa\n"
+            "\n"
+            "30.0\t40.0\tgym\n"
+        )
+        payloads = load_workload_file(str(path))
+        assert payloads == [
+            {"x": 10.0, "y": 20.0, "keywords": ["museum", "spa"]},
+            {"x": 30.0, "y": 40.0, "keywords": ["gym"]},
+        ]
+
+    def test_rejects_short_lines(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("10.0\t20.0\n")
+        with pytest.raises(InvalidParameterError):
+            load_workload_file(str(path))
+
+    def test_rejects_empty_files(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# nothing here\n")
+        with pytest.raises(InvalidParameterError):
+            load_workload_file(str(path))
+
+
+class TestRandomWorkload:
+    def test_seed_determinism_and_bounds(self, serve_dataset):
+        server = start_server(serve_dataset)
+        try:
+            client = LoadClient(server.url, seed=3)
+            first = random_workload(client, 12, seed=3)
+            second = random_workload(client, 12, seed=3)
+            assert first == second
+            other = random_workload(client, 12, seed=4)
+            assert other != first
+            mbr = serve_dataset.mbr()
+            for payload in first:
+                assert mbr.min_x <= payload["x"] <= mbr.max_x
+                assert mbr.min_y <= payload["y"] <= mbr.max_y
+                assert 1 <= len(payload["keywords"]) <= 3
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestRetryOnShed:
+    def test_drain_mode_sheds_then_client_gives_up(self, serve_dataset):
+        server = start_server(serve_dataset, max_inflight=0, retry_after_s=0.001)
+        try:
+            client = LoadClient(
+                server.url,
+                seed=1,
+                max_retries=2,
+                backoff_base_s=0.001,
+                backoff_cap_s=0.002,
+            )
+            record = client.query({"x": 1.0, "y": 1.0, "keywords": ["w"]})
+            assert record.outcome == "shed"
+            assert record.status == 429
+            assert record.attempts == 3  # initial + max_retries
+            summary = client.summary
+            assert summary.responses_by_outcome["shed"] == 3
+            assert summary.retries == 2
+            assert summary.queries_by_final_outcome["shed"] == 1
+            # every shed response the client saw was counted server-side
+            stats = client.get_json("/stats")
+            assert stats["by_outcome"]["shed"] == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestConcurrentRun:
+    def test_run_reconciles_with_server(self, serve_dataset):
+        server = start_server(serve_dataset)
+        try:
+            client = LoadClient(server.url, seed=9)
+            payloads = random_workload(client, 30, seed=9)
+            records = client.run(payloads, concurrency=6)
+            assert len(records) == len(payloads)
+            assert all(record.status == 200 for record in records)
+            assert client.summary.infeasible_answers == 0
+            stats = client.get_json("/stats")
+            for outcome, count in stats["by_outcome"].items():
+                assert client.summary.responses_by_outcome.get(outcome, 0) == count
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_summary_dict_shape(self, serve_dataset):
+        server = start_server(serve_dataset)
+        try:
+            client = LoadClient(server.url, seed=2)
+            client.run(random_workload(client, 5, seed=2), concurrency=2)
+            summary = client.summary.as_dict()
+            assert summary["requests"] == 5
+            assert summary["latency"]["count"] == 5
+            assert set(summary["latency"]) == {
+                "count", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+            }
+            assert summary["transport_errors"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestClientValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LoadClient("http://127.0.0.1:1", timeout_s=0)
+        with pytest.raises(InvalidParameterError):
+            LoadClient("http://127.0.0.1:1", max_retries=-1)
+        client = LoadClient("http://127.0.0.1:1")
+        with pytest.raises(InvalidParameterError):
+            client.run([], concurrency=0)
+
+    def test_transport_errors_are_tallied(self):
+        # nothing listens on this port: the query fails at the socket
+        client = LoadClient("http://127.0.0.1:9", timeout_s=0.2)
+        record = client.query({"x": 0.0, "y": 0.0, "keywords": ["w"]})
+        assert record.status == 0
+        assert record.outcome.startswith("transport_error:")
+        assert client.summary.transport_errors == 1
