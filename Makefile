@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint lint-fast check chaos serve-check parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports figures full-experiments clean
+.PHONY: install test lint lint-fast check chaos serve-check parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports bench-smoke bench-check figures full-experiments clean
 
 install:
 	pip install -e .
@@ -79,6 +79,22 @@ signatures-bench:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Record a macro-benchmark baseline: the pinned smoke profile through
+# the whole stack (solvers, kNN, fallback chain, parallel batches, cache
+# and toggle ablations), one summary JSON out (docs/BENCHMARKS.md).
+bench-smoke:
+	PYTHONPATH=src python -m repro.tools.macro_cli run --profile smoke \
+		--out bench_macro_smoke.json
+
+# The perf gate: re-run the smoke profile and diff against the recorded
+# baseline.  Exit 1 when a latency percentile or throughput regresses
+# past the noise threshold; run `make bench-smoke` first to (re)record.
+bench-check:
+	PYTHONPATH=src python -m repro.tools.macro_cli run --profile smoke \
+		--out bench_macro_candidate.json --quiet
+	PYTHONPATH=src python -m repro.tools.macro_cli diff \
+		bench_macro_smoke.json bench_macro_candidate.json
 
 # Quick-scale paper reports + SVG figures under docs/figures/.
 figures:

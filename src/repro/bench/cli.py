@@ -1,4 +1,4 @@
-"""The ``coskq-bench`` command line: regenerate the paper's figures.
+"""The ``coskq-bench`` command line: paper figures + macro benchmarks.
 
 Usage::
 
@@ -7,7 +7,13 @@ Usage::
     coskq-bench maxsum_hotel         # one experiment at full scale
     coskq-bench scalability --quick
 
-Reports print to stdout in the table shapes EXPERIMENTS.md records.
+    coskq-bench run --profile smoke --out run.json   # macro harness
+    coskq-bench diff baseline.json candidate.json    # regression gate
+    coskq-bench profiles                             # list macro profiles
+
+Experiment reports print to stdout in the table shapes EXPERIMENTS.md
+records; the ``run``/``diff``/``profiles`` subcommands forward to the
+macro harness (:mod:`repro.tools.macro_cli`, docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -46,7 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    if arguments and arguments[0] in ("run", "diff", "profiles"):
+        # The macro harness owns these subcommands (no experiment id
+        # collides with them); see docs/BENCHMARKS.md.
+        from repro.tools.macro_cli import main as macro_main
+
+        return macro_main(arguments)
+    args = build_parser().parse_args(arguments)
     if args.svg is not None:
         import pathlib
 

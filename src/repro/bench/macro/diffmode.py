@@ -1,0 +1,286 @@
+"""The regression gate: compare two summary JSONs, flag real slowdowns.
+
+``coskq-bench diff baseline.json candidate.json`` matches workloads by
+id and compares the latency percentiles (higher is worse) and throughput
+(lower is worse).  A change only counts as a regression when it clears
+**both** a relative noise threshold and an absolute floor — micro-scale
+runs wiggle by whole percents on sub-millisecond cells, and a gate that
+cries wolf gets disabled.  Workloads present in the baseline but missing
+from the candidate are regressions by definition (a deleted measurement
+is how perf losses hide); new candidate workloads are reported
+informationally.
+
+Summaries under different :data:`~repro.bench.macro.schema.SCHEMA_VERSION`
+values refuse to diff (:class:`SchemaVersionMismatchError`) — fields may
+have changed meaning, so any comparison would be noise dressed as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.macro.schema import (
+    SchemaVersionMismatchError,
+    assert_valid,
+)
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_MIN_DELTA_MS",
+    "DEFAULT_MIN_DELTA_QPS",
+    "DiffEntry",
+    "DiffReport",
+    "diff_summaries",
+]
+
+#: Relative change a metric must exceed to count as a regression (25%).
+DEFAULT_REL_THRESHOLD = 0.25
+
+#: Absolute floor for latency metrics: ignore regressions smaller than
+#: this many milliseconds regardless of the relative change.
+DEFAULT_MIN_DELTA_MS = 0.5
+
+#: Absolute floor for throughput: ignore drops smaller than this many
+#: queries/second.
+DEFAULT_MIN_DELTA_QPS = 1.0
+
+#: Latency metrics compared per workload (direction: higher is worse).
+_LATENCY_METRICS = ("p50_ms", "p95_ms", "p99_ms")
+
+#: Minimum sample count for a nearest-rank percentile to be an estimate
+#: rather than the sample max (⌈1/(1-q)⌉): below this, the metric is an
+#: extreme-value statistic — one GC pause flips it — so it is reported
+#: but never gates.
+_MIN_SAMPLES = {"p50_ms": 1, "p95_ms": 20, "p99_ms": 100}
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared metric of one workload."""
+
+    workload: str
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    #: Relative change, signed so that **positive means worse** (latency
+    #: increase or throughput decrease); None when incomparable.
+    change: Optional[float]
+    regression: bool
+    note: str = ""
+
+    def describe(self) -> str:
+        if self.change is None:
+            return "%-40s %-14s %s" % (self.workload, self.metric, self.note)
+        flag = "REGRESSION" if self.regression else "ok"
+        line = "%-40s %-14s %10.4g -> %10.4g  %+6.1f%%  %s" % (
+            self.workload,
+            self.metric,
+            self.baseline,
+            self.candidate,
+            self.change * 100.0,
+            flag,
+        )
+        return line + ("  (%s)" % self.note if self.note else "")
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Everything ``diff`` compared, plus the verdict."""
+
+    baseline_profile: str
+    candidate_profile: str
+    entries: Tuple[DiffEntry, ...] = field(default=())
+
+    @property
+    def regressions(self) -> Tuple[DiffEntry, ...]:
+        return tuple(entry for entry in self.entries if entry.regression)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def format(self) -> str:
+        lines = [
+            "diff: %s (baseline) vs %s (candidate)"
+            % (self.baseline_profile, self.candidate_profile)
+        ]
+        lines.extend(entry.describe() for entry in self.entries)
+        regressions = self.regressions
+        if regressions:
+            lines.append(
+                "%d regression%s past the noise threshold"
+                % (len(regressions), "" if len(regressions) == 1 else "s")
+            )
+        else:
+            lines.append("no regressions past the noise threshold")
+        return "\n".join(lines)
+
+
+def _workloads_by_id(summary: Dict) -> Dict[str, Dict]:
+    return {entry["id"]: entry for entry in summary["workloads"]}
+
+
+def _latency_entries(
+    workload_id: str,
+    base: Dict,
+    cand: Dict,
+    rel_threshold: float,
+    min_delta_ms: float,
+) -> List[DiffEntry]:
+    base_latency = base.get("latency_ms")
+    cand_latency = cand.get("latency_ms")
+    if base_latency is None and cand_latency is None:
+        return []
+    if base_latency is None or cand_latency is None:
+        return [
+            DiffEntry(
+                workload=workload_id,
+                metric="latency_ms",
+                baseline=None,
+                candidate=None,
+                change=None,
+                regression=base_latency is not None,
+                note="latency present in only one run",
+            )
+        ]
+    out: List[DiffEntry] = []
+    samples = min(int(base_latency["count"]), int(cand_latency["count"]))
+    for metric in _LATENCY_METRICS:
+        baseline = float(base_latency[metric])
+        candidate = float(cand_latency[metric])
+        delta = candidate - baseline
+        change = (delta / baseline) if baseline > 0 else None
+        resolvable = samples >= _MIN_SAMPLES[metric]
+        regression = (
+            resolvable
+            and change is not None
+            and change > rel_threshold
+            and delta >= min_delta_ms
+        )
+        out.append(
+            DiffEntry(
+                workload=workload_id,
+                metric=metric,
+                baseline=baseline,
+                candidate=candidate,
+                change=change,
+                regression=regression,
+                note=""
+                if resolvable
+                else "informational: %d samples cannot resolve %s" % (samples, metric),
+            )
+        )
+    return out
+
+
+def _throughput_entry(
+    workload_id: str,
+    base: Dict,
+    cand: Dict,
+    rel_threshold: float,
+    min_delta_qps: float,
+    min_delta_ms: float,
+) -> DiffEntry:
+    baseline = float(base["throughput_qps"])
+    candidate = float(cand["throughput_qps"])
+    drop = baseline - candidate
+    change = (drop / baseline) if baseline > 0 else None
+    # Micro-scale protection: a cell serving hundreds of thousands of
+    # qps (cache hits measured in microseconds) swings by double-digit
+    # percents between back-to-back runs, and its absolute qps delta is
+    # huge by construction — so the drop must also amount to a visible
+    # per-query slowdown in time units, the same floor latency uses.
+    if candidate > 0 and baseline > 0:
+        implied_ms = 1_000.0 / candidate - 1_000.0 / baseline
+    elif baseline > 0:
+        implied_ms = float("inf")
+    else:
+        implied_ms = 0.0
+    regression = (
+        change is not None
+        and change > rel_threshold
+        and drop >= min_delta_qps
+        and implied_ms >= min_delta_ms
+    )
+    return DiffEntry(
+        workload=workload_id,
+        metric="throughput_qps",
+        baseline=baseline,
+        candidate=candidate,
+        change=change,
+        regression=regression,
+    )
+
+
+def diff_summaries(
+    baseline: Dict,
+    candidate: Dict,
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    min_delta_ms: float = DEFAULT_MIN_DELTA_MS,
+    min_delta_qps: float = DEFAULT_MIN_DELTA_QPS,
+) -> DiffReport:
+    """Compare two schema-valid summaries; see the module docstring."""
+    if rel_threshold < 0:
+        raise InvalidParameterError("rel_threshold must be >= 0")
+    base_version = baseline.get("schema_version") if isinstance(baseline, dict) else None
+    cand_version = candidate.get("schema_version") if isinstance(candidate, dict) else None
+    # Version drift gets its dedicated error before generic validation:
+    # "your runs span a schema change" beats a wall of missing-key noise.
+    if base_version != cand_version:
+        raise SchemaVersionMismatchError(
+            "cannot diff schema %r against %r" % (base_version, cand_version)
+        )
+    assert_valid(baseline)
+    assert_valid(candidate)
+
+    base_workloads = _workloads_by_id(baseline)
+    cand_workloads = _workloads_by_id(candidate)
+    entries: List[DiffEntry] = []
+    for workload_id, base in base_workloads.items():
+        cand = cand_workloads.get(workload_id)
+        if cand is None:
+            entries.append(
+                DiffEntry(
+                    workload=workload_id,
+                    metric="presence",
+                    baseline=None,
+                    candidate=None,
+                    change=None,
+                    regression=True,
+                    note="workload missing from candidate run",
+                )
+            )
+            continue
+        entries.extend(
+            _latency_entries(workload_id, base, cand, rel_threshold, min_delta_ms)
+        )
+        entries.append(
+            _throughput_entry(
+                workload_id, base, cand, rel_threshold, min_delta_qps, min_delta_ms
+            )
+        )
+    for workload_id in cand_workloads:
+        if workload_id not in base_workloads:
+            entries.append(
+                DiffEntry(
+                    workload=workload_id,
+                    metric="presence",
+                    baseline=None,
+                    candidate=None,
+                    change=None,
+                    regression=False,
+                    note="new workload (no baseline)",
+                )
+            )
+    return DiffReport(
+        baseline_profile=str(baseline["profile"]),
+        candidate_profile=str(candidate["profile"]),
+        entries=tuple(entries),
+    )

@@ -1,0 +1,328 @@
+"""Execute a macro-benchmark profile into one schema-valid summary dict.
+
+The runner owns the measurement discipline:
+
+- **Index builds are not query latency.**  One
+  :class:`~repro.algorithms.base.SearchContext` is built per dataset and
+  shared by every workload over it; the build is timed separately and
+  reported as ``index_build_s`` on the dataset entry.
+- **Cold vs warm is explicit.**  A ``cold`` workload times the first
+  (and only) pass over its queries against uncached state.  A ``warm``
+  workload layers :class:`~repro.index.cache.CachingIndex` +
+  :class:`~repro.parallel.cache.ResultCache` over the same context, runs
+  one untimed priming pass, then times the second pass — and reports the
+  cache counters so hit rates are visible in the summary.
+- **Toggles are scoped.**  Kernels/signatures are forced per workload
+  via :func:`repro.kernels.set_enabled` /
+  :func:`repro.index.signatures.set_enabled` and restored to environment
+  control afterwards, even on failure.
+- **Failures never abort a run.**  A query that raises a typed CoSKQ
+  error is counted in ``failures`` and excluded from the latency sample;
+  an unexpected exception still propagates (a broken harness must not
+  produce a pretty number).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import make_algorithm
+from repro.bench.macro.aggregate import LatencyAccumulator, throughput_qps
+from repro.bench.macro.datasets import DatasetCache
+from repro.bench.macro.schema import SCHEMA_VERSION, assert_valid
+from repro.bench.macro.workloads import Profile, WorkloadSpec, profile_by_name
+from repro.data.queries import generate_queries
+from repro.errors import CoSKQError
+from repro.index import signatures
+from repro.index.cache import CachingIndex
+from repro.kernels import flat as kernels_flat
+from repro.kernels.flat import kernels_enabled
+from repro.model.dataset import Dataset
+from repro.model.query import Query
+from repro.parallel.cache import CachedSolver, ResultCache
+from repro.parallel.executor import ParallelBatchExecutor
+from repro.parallel.spec import CacheSpec, SolverSpec, WorkerEnv
+
+__all__ = ["run_profile"]
+
+Echo = Optional[Callable[[str], None]]
+
+
+def _say(echo: Echo, message: str) -> None:
+    if echo is not None:
+        echo(message)
+
+
+class _Toggles:
+    """Force kernels/signatures for one workload; always restore."""
+
+    def __init__(self, kernels_on: bool, signatures_on: bool):
+        self.kernels_on = kernels_on
+        self.signatures_on = signatures_on
+
+    def __enter__(self) -> "_Toggles":
+        kernels_flat.set_enabled(self.kernels_on)
+        signatures.set_enabled(self.signatures_on)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        kernels_flat.set_enabled(None)
+        signatures.set_enabled(None)
+
+
+def _timed_pass(
+    solve: Callable[[Query], object],
+    queries: List[Query],
+    provenance: "Counter[str]",
+) -> Tuple[LatencyAccumulator, int, float]:
+    """Time ``solve`` per query; returns (latencies, failures, wall_s)."""
+    latencies = LatencyAccumulator()
+    failures = 0
+    pass_started = time.perf_counter()
+    for query in queries:
+        started = time.perf_counter()
+        try:
+            result = solve(query)
+        except CoSKQError as exc:
+            failures += 1
+            provenance["failed:%s" % type(exc).__name__] += 1
+            continue
+        latencies.add((time.perf_counter() - started) * 1_000.0)
+        _count_provenance(result, provenance)
+    return latencies, failures, time.perf_counter() - pass_started
+
+
+def _count_provenance(result: object, provenance: "Counter[str]") -> None:
+    """Tally who answered: the chain stage when stamped, else the solver."""
+    stamp = getattr(result, "provenance", None)
+    if stamp is not None:
+        provenance[getattr(stamp, "answered_by", "unknown")] += 1
+        if getattr(stamp, "degraded", False):
+            provenance["degraded"] += 1
+    elif hasattr(result, "algorithm"):
+        provenance[result.algorithm] += 1
+
+
+def _solver_workload(
+    spec: WorkloadSpec, context: SearchContext, queries: List[Query]
+) -> Dict[str, object]:
+    provenance: "Counter[str]" = Counter()
+    cache_stats: Optional[Dict[str, int]] = None
+    if spec.cache == "warm":
+        index_cache = CachingIndex(context.index)
+        warm_context = context.with_index(index_cache)
+        result_cache = ResultCache()
+        solver = CachedSolver(
+            make_algorithm(spec.solver, warm_context), result_cache
+        )
+        for query in queries:  # priming pass, untimed
+            solver.solve(query)
+        latencies, failures, wall_s = _timed_pass(solver.solve, queries, provenance)
+        cache_stats = {}
+        cache_stats.update(index_cache.stats_dict("index_"))
+        cache_stats.update(result_cache.stats_dict("result_"))
+    else:
+        solver = make_algorithm(spec.solver, context)
+        latencies, failures, wall_s = _timed_pass(solver.solve, queries, provenance)
+    return _workload_entry(spec, latencies, failures, wall_s, provenance, cache_stats)
+
+
+def _chain_workload(
+    spec: WorkloadSpec, context: SearchContext, queries: List[Query]
+) -> Dict[str, object]:
+    executor = SolverSpec(
+        chain=spec.solver, deadline_ms=spec.deadline_ms, always_answer=True
+    ).build(context)
+    provenance: "Counter[str]" = Counter()
+    latencies, failures, wall_s = _timed_pass(executor.solve, queries, provenance)
+    return _workload_entry(spec, latencies, failures, wall_s, provenance, None)
+
+
+def _knn_workload(
+    spec: WorkloadSpec, context: SearchContext, queries: List[Query]
+) -> Dict[str, object]:
+    index = context.index
+    provenance: "Counter[str]" = Counter()
+
+    def solve(query: Query) -> object:
+        neighbors = index.boolean_knn(query, spec.k)
+        provenance["returned:%d" % len(neighbors)] += 1
+        return neighbors
+
+    latencies = LatencyAccumulator()
+    failures = 0
+    pass_started = time.perf_counter()
+    for query in queries:
+        started = time.perf_counter()
+        solve(query)
+        latencies.add((time.perf_counter() - started) * 1_000.0)
+    wall_s = time.perf_counter() - pass_started
+    return _workload_entry(spec, latencies, failures, wall_s, provenance, None)
+
+
+def _batch_workload(
+    spec: WorkloadSpec, dataset: Dataset, queries: List[Query]
+) -> Dict[str, object]:
+    env = WorkerEnv(dataset=dataset, cache=CacheSpec(mode="index"))
+    solver_spec = SolverSpec(algorithm=spec.solver)
+    provenance: "Counter[str]" = Counter()
+    with ParallelBatchExecutor(env, solver_spec, workers=spec.workers) as executor:
+        executor.run([])  # force pool + worker runtimes up before timing
+        started = time.perf_counter()
+        report = executor.run(queries)
+        wall_s = time.perf_counter() - started
+    for result in report.results:
+        if result is not None:
+            _count_provenance(result, provenance)
+    entry = _workload_entry(
+        spec,
+        LatencyAccumulator(),
+        len(report.failures),
+        wall_s,
+        provenance,
+        dict(report.cache_stats) if report.cache_stats else None,
+    )
+    entry["latency_ms"] = None  # per-query wall is worker-local; batch reports throughput
+    return entry
+
+
+def _workload_entry(
+    spec: WorkloadSpec,
+    latencies: LatencyAccumulator,
+    failures: int,
+    wall_s: float,
+    provenance: "Counter[str]",
+    cache_stats: Optional[Dict[str, int]],
+) -> Dict[str, object]:
+    completed = spec.queries - failures
+    return {
+        "id": spec.id,
+        "dataset": spec.dataset,
+        "kind": spec.kind,
+        "solver": spec.solver,
+        "cache": spec.cache,
+        "toggles": {"kernels": spec.kernels, "signatures": spec.signatures},
+        "queries": spec.queries,
+        "num_keywords": spec.num_keywords,
+        "failures": failures,
+        "wall_s": wall_s,
+        "throughput_qps": throughput_qps(completed, wall_s),
+        "latency_ms": latencies.summary() if len(latencies) else None,
+        "provenance": dict(sorted(provenance.items())),
+        "cache_stats": cache_stats,
+    }
+
+
+def _run_workload(
+    spec: WorkloadSpec,
+    dataset: Dataset,
+    context: SearchContext,
+    queries: List[Query],
+) -> Dict[str, object]:
+    with _Toggles(spec.kernels, spec.signatures):
+        if spec.kind == "batch":
+            return _batch_workload(spec, dataset, queries)
+        if spec.kind == "boolean-knn":
+            return _knn_workload(spec, context, queries)
+        if spec.kind == "chain":
+            return _chain_workload(spec, context, queries)
+        return _solver_workload(spec, context, queries)
+
+
+def run_profile(
+    profile: Union[str, Profile],
+    *,
+    cache_dir: Optional[str | Path] = None,
+    out: Optional[str | Path] = None,
+    echo: Echo = None,
+) -> Dict[str, object]:
+    """Run every workload of ``profile``; return (and optionally write)
+    the schema-valid summary document."""
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    run_started = time.perf_counter()
+    cache = DatasetCache(cache_dir)
+
+    datasets: Dict[str, Dataset] = {}
+    contexts: Dict[str, SearchContext] = {}
+    dataset_entries: List[Dict[str, object]] = []
+    for spec in profile.datasets:
+        dataset, meta = cache.materialize(spec)
+        _say(
+            echo,
+            "dataset %s: %d objects (%s, %.2fs)"
+            % (spec.name, len(dataset), meta["cache"], meta["generate_s"]),
+        )
+        build_started = time.perf_counter()
+        context = SearchContext(dataset)
+        context.index  # build now so workload latencies never pay for it
+        index_build_s = time.perf_counter() - build_started
+        datasets[spec.name] = dataset
+        contexts[spec.name] = context
+        dataset_entries.append(
+            {
+                "name": spec.name,
+                "kind": spec.kind,
+                "objects": len(dataset),
+                "content_hash": meta["content_hash"],
+                "cache": meta["cache"],
+                "generate_s": meta["generate_s"],
+                "index_build_s": index_build_s,
+                "path": meta["path"],
+            }
+        )
+
+    workload_entries: List[Dict[str, object]] = []
+    for spec in profile.workloads:
+        dataset = datasets[spec.dataset]
+        queries = generate_queries(
+            dataset, spec.num_keywords, spec.queries, seed=profile.seed
+        )
+        workload_started = time.perf_counter()
+        entry = _run_workload(spec, dataset, contexts[spec.dataset], queries)
+        _say(
+            echo,
+            "workload %-36s %5.2fs  %s"
+            % (
+                spec.id,
+                time.perf_counter() - workload_started,
+                "%.1f q/s" % entry["throughput_qps"],
+            ),
+        )
+        workload_entries.append(entry)
+
+    summary: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile.name,
+        "seed": profile.seed,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "kernels": kernels_enabled(),
+            "signatures": signatures.signatures_enabled(),
+        },
+        "datasets": dataset_entries,
+        "workloads": workload_entries,
+        "totals": {
+            "wall_s": time.perf_counter() - run_started,
+            "queries": sum(w.queries for w in profile.workloads),
+            "workloads": len(profile.workloads),
+        },
+    }
+    assert_valid(summary)
+    if out is not None:
+        out = Path(out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        _say(echo, "summary written to %s" % out)
+    return summary

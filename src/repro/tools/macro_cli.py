@@ -1,0 +1,169 @@
+"""The macro-benchmark command line (``coskq-bench run`` / ``diff``).
+
+Installed standalone as ``coskq-bench-macro`` and reachable through the
+main ``coskq-bench`` entry point, which forwards its ``run`` / ``diff``
+/ ``profiles`` subcommands here (the experiment ids of the paper-figure
+CLI never collide with these words).
+
+Exit codes follow the repo convention: 0 success / no regression,
+1 regression detected by ``diff``, 2 usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.macro.diffmode import (
+    DEFAULT_MIN_DELTA_MS,
+    DEFAULT_MIN_DELTA_QPS,
+    DEFAULT_REL_THRESHOLD,
+    diff_summaries,
+)
+from repro.bench.macro.runner import run_profile
+from repro.bench.macro.schema import (
+    SchemaVersionMismatchError,
+    SummarySchemaError,
+    canonical_summary,
+)
+from repro.bench.macro.workloads import PROFILES
+from repro.errors import CoSKQError
+
+__all__ = ["main", "build_parser"]
+
+MACRO_COMMANDS = ("run", "diff", "profiles")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coskq-bench-macro",
+        description="System-level CoSKQ macro benchmarks (docs/BENCHMARKS.md).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="execute a pinned profile and write one summary JSON"
+    )
+    run.add_argument(
+        "--profile",
+        default="smoke",
+        choices=sorted(PROFILES),
+        help="which pinned profile to run (default: smoke)",
+    )
+    run.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the summary JSON here (default: print to stdout)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="dataset cache directory (default: $COSKQ_BENCH_CACHE or "
+        ".coskq_bench_cache)",
+    )
+    run.add_argument(
+        "--canonical-out",
+        metavar="PATH",
+        default=None,
+        help="additionally write the timing-free golden projection "
+        "(regenerates tests/fixtures/bench_macro_smoke.golden.json)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+    diff = subparsers.add_parser(
+        "diff", help="compare two run summaries; exit 1 on regression"
+    )
+    diff.add_argument("baseline", help="baseline summary JSON")
+    diff.add_argument("candidate", help="candidate summary JSON")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REL_THRESHOLD,
+        help="relative noise threshold (default: %(default)s)",
+    )
+    diff.add_argument(
+        "--min-delta-ms",
+        type=float,
+        default=DEFAULT_MIN_DELTA_MS,
+        help="absolute latency floor in ms (default: %(default)s)",
+    )
+    diff.add_argument(
+        "--min-delta-qps",
+        type=float,
+        default=DEFAULT_MIN_DELTA_QPS,
+        help="absolute throughput floor in q/s (default: %(default)s)",
+    )
+
+    subparsers.add_parser("profiles", help="list the pinned profiles")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    echo = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    summary = run_profile(
+        args.profile, cache_dir=args.cache_dir, out=args.out, echo=echo
+    )
+    if args.canonical_out is not None:
+        Path(args.canonical_out).write_text(
+            json.dumps(canonical_summary(summary), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.out is None:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _load_summary(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise SummarySchemaError("cannot read summary %s: %s" % (path, exc)) from exc
+    except json.JSONDecodeError as exc:
+        raise SummarySchemaError("summary %s is not JSON: %s" % (path, exc)) from exc
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    report = diff_summaries(
+        _load_summary(args.baseline),
+        _load_summary(args.candidate),
+        rel_threshold=args.threshold,
+        min_delta_ms=args.min_delta_ms,
+        min_delta_qps=args.min_delta_qps,
+    )
+    print(report.format())
+    return report.exit_code
+
+
+def _cmd_profiles() -> int:
+    for name in sorted(PROFILES):
+        profile = PROFILES[name]
+        print(
+            "%-8s %d datasets, %d workloads — %s"
+            % (name, len(profile.datasets), len(profile.workloads), profile.description)
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
+        return _cmd_profiles()
+    except (SummarySchemaError, SchemaVersionMismatchError, CoSKQError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,6 +66,37 @@ def rng():
     return random.Random(1234)
 
 
+@pytest.fixture(scope="session")
+def macro_smoke_run(tmp_path_factory):
+    """One real ``coskq-bench run --profile smoke`` per test session.
+
+    Runs the macro harness end-to-end through its CLI into a fresh
+    dataset cache, and hands (summary path, parsed summary) to every
+    macro-bench test — so tier-1 always exercises the harness exactly
+    once (ISSUE 8 acceptance), not once per test.
+    """
+    import json
+
+    from repro.tools.macro_cli import main as macro_main
+
+    root = tmp_path_factory.mktemp("macro_bench")
+    out = root / "smoke.json"
+    exit_code = macro_main(
+        [
+            "run",
+            "--profile",
+            "smoke",
+            "--out",
+            str(out),
+            "--cache-dir",
+            str(root / "dataset_cache"),
+            "--quiet",
+        ]
+    )
+    assert exit_code == 0, "smoke profile run failed"
+    return out, json.loads(out.read_text(encoding="utf-8"))
+
+
 def make_random_instance(seed: int, num_objects: int = 60, vocab: int = 8):
     """A fresh random (dataset, context, queries) triple for property tests."""
     dataset = uniform_dataset(

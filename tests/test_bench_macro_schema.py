@@ -1,0 +1,109 @@
+"""The summary schema: golden file + validator unit coverage.
+
+The golden file pins the canonical (timing-free) projection of a smoke
+run, making every schema change an explicit, reviewable fixture diff —
+the same pattern as ``tests/fixtures/dataflow_r10.golden.json``.
+Regenerate deliberately with::
+
+    coskq-bench run --profile smoke --out /tmp/run.json \
+        --canonical-out tests/fixtures/bench_macro_smoke.golden.json
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.macro.schema import (
+    SCHEMA_VERSION,
+    SummarySchemaError,
+    assert_valid,
+    canonical_summary,
+    validate_summary,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "fixtures" / "bench_macro_smoke.golden.json"
+
+
+class TestGoldenFile:
+    def test_canonical_projection_matches_golden(self, macro_smoke_run):
+        _, summary = macro_smoke_run
+        expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert canonical_summary(summary) == expected
+
+    def test_golden_declares_current_schema_version(self):
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert golden["schema_version"] == SCHEMA_VERSION
+
+    def test_canonical_projection_neutralizes_measurements(self, macro_smoke_run):
+        _, summary = macro_smoke_run
+        projected = canonical_summary(summary)
+        assert projected["totals"]["wall_s"] == 0.0
+        assert projected["environment"]["python"] == "<python>"
+        for entry in projected["datasets"]:
+            assert entry["content_hash"] == "<sha256>"
+        for entry in projected["workloads"]:
+            assert entry["provenance"] == {}
+            if entry["latency_ms"] is not None:
+                assert entry["latency_ms"]["p99_ms"] == 0.0
+                assert entry["latency_ms"]["count"] > 0  # counts stay pinned
+
+
+class TestValidator:
+    @pytest.fixture()
+    def valid(self, macro_smoke_run):
+        return copy.deepcopy(macro_smoke_run[1])
+
+    def test_accepts_real_summary(self, valid):
+        assert validate_summary(valid) == []
+        assert_valid(valid)  # must not raise
+
+    def test_rejects_non_object(self):
+        assert validate_summary([]) != []
+        assert validate_summary(None) != []
+
+    def test_rejects_missing_top_level_key(self, valid):
+        del valid["workloads"]
+        assert any("workloads" in p for p in validate_summary(valid))
+
+    def test_rejects_wrong_schema_version(self, valid):
+        valid["schema_version"] = "coskq-bench-macro/0"
+        assert any("schema_version" in p for p in validate_summary(valid))
+
+    def test_rejects_non_monotone_latency(self, valid):
+        cell = next(w for w in valid["workloads"] if w["latency_ms"])
+        cell["latency_ms"]["p50_ms"] = cell["latency_ms"]["p99_ms"] + 1.0
+        cell["latency_ms"]["p95_ms"] = 0.0
+        assert any("monotone" in p for p in validate_summary(valid))
+
+    def test_rejects_duplicate_workload_ids(self, valid):
+        valid["workloads"].append(copy.deepcopy(valid["workloads"][0]))
+        valid["totals"]["queries"] += valid["workloads"][0]["queries"]
+        assert any("duplicate workload id" in p for p in validate_summary(valid))
+
+    def test_rejects_unknown_dataset_reference(self, valid):
+        valid["workloads"][0]["dataset"] = "no-such-dataset"
+        assert any("unknown dataset" in p for p in validate_summary(valid))
+
+    def test_rejects_totals_query_mismatch(self, valid):
+        valid["totals"]["queries"] += 1
+        assert any("totals" in p for p in validate_summary(valid))
+
+    def test_rejects_bool_masquerading_as_int(self, valid):
+        valid["seed"] = True
+        assert any("seed" in p for p in validate_summary(valid))
+
+    def test_rejects_bad_workload_kind(self, valid):
+        valid["workloads"][0]["kind"] = "mystery"
+        assert any("kind" in p for p in validate_summary(valid))
+
+    def test_assert_valid_raises_with_every_problem(self, valid):
+        del valid["profile"]
+        valid["schema_version"] = "nope"
+        with pytest.raises(SummarySchemaError) as excinfo:
+            assert_valid(valid)
+        message = str(excinfo.value)
+        assert "profile" in message and "schema_version" in message

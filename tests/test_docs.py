@@ -29,6 +29,7 @@ class TestFilesExist:
             "docs/ALGORITHMS.md",
             "docs/STATIC_ANALYSIS.md",
             "docs/SERVING.md",
+            "docs/BENCHMARKS.md",
         ],
     )
     def test_present_and_substantial(self, name):
@@ -93,6 +94,29 @@ class TestReadme:
                 continue
             assert name in robustness, name
             assert str(code) in robustness
+
+    def test_macro_bench_doc_is_current(self):
+        # docs/BENCHMARKS.md promises profiles, a schema version, CLI
+        # subcommands and make targets; fail if the code moves away.
+        from repro.bench.macro import PROFILES, SCHEMA_VERSION
+        from repro.tools.macro_cli import MACRO_COMMANDS
+
+        doc = read("docs/BENCHMARKS.md")
+        for profile_name in PROFILES:
+            assert "`%s`" % profile_name in doc, profile_name
+        assert SCHEMA_VERSION in doc
+        for command in MACRO_COMMANDS:
+            assert "coskq-bench %s" % command in doc, command
+        makefile = read("Makefile")
+        for target in ("bench-smoke", "bench-check"):
+            assert "make %s" % target in doc, target
+            assert "%s:" % target in makefile, target
+        assert "coskq-bench-macro" in read("pyproject.toml")
+        assert "docs/BENCHMARKS.md" in read("README.md")
+
+    def test_macro_golden_fixture_exists(self):
+        golden = ROOT / "tests" / "fixtures" / "bench_macro_smoke.golden.json"
+        assert golden.exists()
 
     def test_documented_algorithms_registered(self):
         # Algorithms named in backticks that look like registry names.
