@@ -1,6 +1,6 @@
 # Convenience targets for the CoSKQ reproduction.
 
-.PHONY: install test lint lint-fast check chaos serve-check parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench bench bench-reports bench-smoke bench-check figures full-experiments clean
+.PHONY: install test lint lint-fast check chaos serve-check parallel-check parallel-bench kernels-check kernels-bench signatures-check signatures-bench shard-check shard-bench bench bench-reports bench-smoke bench-check figures full-experiments clean
 
 install:
 	pip install -e .
@@ -76,6 +76,20 @@ signatures-bench:
 		from repro.bench import experiments; \
 		experiments.SIGNATURES_JSON_PATH = pathlib.Path('BENCH_signatures.json'); \
 		print(experiments.run_experiment('signatures_study', quick=True))"
+
+# The sharding gate: the differential suite proving the scatter-gather
+# engine and the ShardedIndex facade bit-identical to a single IR-tree
+# for every solver and cost, under per-shard chaos and across threads
+# (docs/SHARDING.md).
+shard-check:
+	PYTHONPATH=src python -m pytest -q tests/test_differential_shard.py \
+		tests/test_bench_macro_diff.py
+
+# Regenerate BENCH_shard.json: paired sharded-vs-single cells at
+# GN-100k and GN-1M (several minutes; ~80 MB of dataset cache).
+shard-bench:
+	PYTHONPATH=src python -m repro.tools.macro_cli run --profile shard \
+		--out BENCH_shard.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -193,6 +193,68 @@ def _batch_workload(
     return entry
 
 
+def _sharded_workload(
+    spec: WorkloadSpec,
+    dataset: Dataset,
+    context: SearchContext,
+    queries: List[Query],
+) -> Dict[str, object]:
+    """Paired measurement: the scatter-gather engine vs the single tree.
+
+    Both passes run the same registry solver over the same query list.
+    The sharded pass is the one the latency sample and throughput
+    describe; the single-index pass (over the dataset's shared context,
+    whose build the runner already excluded from query latency) is
+    wall-clocked back to back, so the two numbers see the same machine
+    state and their ratio is drift-free.  The ratio lands in provenance
+    as ``speedup_pct`` (volatile, so the golden file never pins one
+    machine's number); the shard build is reported separately as
+    ``shard_build_s``, mirroring the dataset entries' ``index_build_s``
+    discipline that index construction is not query latency.
+    """
+    from repro.shard import ScatterGather, ShardedIndexFactory
+
+    provenance: "Counter[str]" = Counter()
+    build_started = time.perf_counter()
+    sharded_context = SearchContext(
+        dataset, index_cls=ShardedIndexFactory(spec.shards)
+    )
+    sharded_context.index  # build outside the timed pass
+    shard_build_s = time.perf_counter() - build_started
+    engine = ScatterGather(sharded_context, spec.solver)
+
+    def solve(query: Query) -> object:
+        result = engine.solve(query)
+        counters = result.counters
+        for key in (
+            "shards_total",
+            "shards_scanned",
+            "shards_pruned_mask",
+            "shards_pruned_bound",
+        ):
+            provenance[key] += counters.get(key, 0)
+        if counters.get("shards_scanned", 0) < counters.get("shards_total", 0):
+            provenance["queries_with_pruning"] += 1
+        return result
+
+    latencies, failures, wall_s = _timed_pass(solve, queries, provenance)
+
+    baseline = make_algorithm(spec.solver, context)
+    baseline_started = time.perf_counter()
+    for query in queries:
+        try:
+            baseline.solve(query)
+        except CoSKQError:
+            provenance["baseline_failed"] += 1
+    baseline_wall_s = time.perf_counter() - baseline_started
+    if wall_s > 0.0:
+        provenance["speedup_pct"] = int(round(100.0 * baseline_wall_s / wall_s))
+    entry = _workload_entry(spec, latencies, failures, wall_s, provenance, None)
+    entry["shard_build_s"] = shard_build_s
+    entry["baseline_wall_s"] = baseline_wall_s
+    return entry
+
+
 def _workload_entry(
     spec: WorkloadSpec,
     latencies: LatencyAccumulator,
@@ -211,6 +273,7 @@ def _workload_entry(
         "toggles": {"kernels": spec.kernels, "signatures": spec.signatures},
         "queries": spec.queries,
         "num_keywords": spec.num_keywords,
+        "shards": spec.shards,
         "failures": failures,
         "wall_s": wall_s,
         "throughput_qps": throughput_qps(completed, wall_s),
@@ -229,6 +292,8 @@ def _run_workload(
     with _Toggles(spec.kernels, spec.signatures):
         if spec.kind == "batch":
             return _batch_workload(spec, dataset, queries)
+        if spec.kind == "sharded":
+            return _sharded_workload(spec, dataset, context, queries)
         if spec.kind == "boolean-knn":
             return _knn_workload(spec, context, queries)
         if spec.kind == "chain":

@@ -34,10 +34,13 @@ __all__ = [
 ]
 
 #: Bump on any structural change to the summary document.
-SCHEMA_VERSION = "coskq-bench-macro/1"
+#: /2: added the ``sharded`` workload kind, the per-workload ``shards``
+#: count (0 = single IR-tree), and on sharded entries the paired
+#: ``baseline_wall_s`` / ``shard_build_s`` extras.
+SCHEMA_VERSION = "coskq-bench-macro/2"
 
 #: How a workload is executed (see docs/BENCHMARKS.md).
-WORKLOAD_KINDS = ("solver", "chain", "boolean-knn", "batch")
+WORKLOAD_KINDS = ("solver", "chain", "boolean-knn", "batch", "sharded")
 
 _CACHE_MODES = ("cold", "warm")
 _LATENCY_KEYS = ("count", "mean_ms", "min_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")
@@ -188,6 +191,11 @@ def validate_summary(doc: object) -> List[str]:
             if queries is not None and queries < 1:
                 problems.append("%s: queries must be >= 1" % where)
             _require(entry, "num_keywords", int, where, problems)
+            shards = _require(entry, "shards", int, where, problems)
+            if shards is not None and shards < 0:
+                problems.append("%s: shards must be >= 0" % where)
+            if kind == "sharded" and shards is not None and shards < 1:
+                problems.append("%s: sharded workloads need shards >= 1" % where)
             failures = _require(entry, "failures", int, where, problems)
             if failures is not None and failures < 0:
                 problems.append("%s: failures must be >= 0" % where)
@@ -251,7 +259,16 @@ _PLACEHOLDERS = {
 _VOLATILE_COUNTERS = ("provenance", "cache_stats")
 
 #: Numeric fields that are pinned by the profile and therefore kept.
-_PINNED_NUMERIC = ("count", "queries", "objects", "num_keywords", "failures", "seed", "workloads")
+_PINNED_NUMERIC = (
+    "count",
+    "queries",
+    "objects",
+    "num_keywords",
+    "failures",
+    "seed",
+    "workloads",
+    "shards",
+)
 
 
 def canonical_summary(doc: Dict) -> Dict:

@@ -7,13 +7,15 @@ batch), a cache temperature, and the kernels/signatures toggles.  A
 profile measure byte-identical work — which is what makes the diff gate
 meaningful.
 
-Three profiles ship (docs/BENCHMARKS.md):
+Four profiles ship (docs/BENCHMARKS.md):
 
 - ``smoke`` — seconds; runs inside tier-1 on every ``pytest``, so the
   harness itself can never rot.
 - ``quick`` — a couple of minutes; the development loop profile.
 - ``full``  — the production ladder: GN-shaped data at 10k → 1M objects
   plus hotel/web corpora at paper-like scale.
+- ``shard`` — only the paired sharded-vs-single cells at 100k and 1M;
+  the profile behind ``BENCH_shard.json`` (docs/SHARDING.md).
 """
 
 from __future__ import annotations
@@ -49,6 +51,8 @@ class WorkloadSpec:
     workers: int = 2
     #: ``chain`` only: per-query deadline.
     deadline_ms: Optional[float] = None
+    #: ``sharded`` only: STR shard count for the scatter-gather engine.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOAD_KINDS:
@@ -60,6 +64,10 @@ class WorkloadSpec:
         for count_field in ("queries", "num_keywords", "k", "workers"):
             if getattr(self, count_field) < 1:
                 raise InvalidParameterError("%s must be >= 1" % count_field)
+        if self.shards < 0:
+            raise InvalidParameterError("shards must be >= 0")
+        if self.kind == "sharded" and self.shards < 1:
+            raise InvalidParameterError("sharded workloads need shards >= 1")
 
 
 @dataclass(frozen=True)
@@ -178,6 +186,15 @@ def _mixed_workloads(
             queries=batch_queries,
             workers=workers,
         ),
+        WorkloadSpec(
+            id="sharded/maxsum-appro/cold",
+            dataset=main,
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=num_keywords,
+            queries=queries,
+            shards=8,
+        ),
     )
 
 
@@ -207,6 +224,7 @@ _QUICK = Profile(
     datasets=(
         DatasetSpec(name="quick-gn-10k", kind="gn", size=10_000, seed=7),
         DatasetSpec(name="quick-small", kind="uniform", size=2_000, seed=7),
+        DatasetSpec(name="quick-gn-100k", kind="gn", size=100_000, seed=7),
     ),
     workloads=_mixed_workloads(
         "quick-gn-10k",
@@ -217,6 +235,17 @@ _QUICK = Profile(
         batch_queries=64,
         workers=2,
         chain_deadline_ms=1_000.0,
+    )
+    + (
+        WorkloadSpec(
+            id="sharded-100k",
+            dataset="quick-gn-100k",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=16,
+            shards=64,
+        ),
     ),
     seed=7,
 )
@@ -257,6 +286,40 @@ def _full_workloads() -> Tuple[WorkloadSpec, ...]:
                 k=10,
             )
         )
+    out.append(
+        WorkloadSpec(
+            id="sharded-100k",
+            dataset="full-gn-100k",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=32,
+            shards=64,
+        )
+    )
+    for shards in (16, 256):  # shard-count sweep around the 64-shard pin
+        out.append(
+            WorkloadSpec(
+                id="sharded-100k/s%d" % shards,
+                dataset="full-gn-100k",
+                kind="sharded",
+                solver="maxsum-appro",
+                num_keywords=6,
+                queries=16,
+                shards=shards,
+            )
+        )
+    out.append(
+        WorkloadSpec(
+            id="sharded-1m",
+            dataset="full-gn-1m",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=8,
+            shards=64,
+        )
+    )
     return tuple(out)
 
 
@@ -273,9 +336,57 @@ _FULL = Profile(
     seed=7,
 )
 
+_SHARD = Profile(
+    name="shard",
+    description="sharded scatter-gather vs single IR-tree: paired 100k / 1M cells",
+    datasets=(
+        DatasetSpec(name="shard-gn-100k", kind="gn", size=100_000, seed=7),
+        DatasetSpec(name="shard-gn-1m", kind="gn", size=1_000_000, seed=7),
+    ),
+    workloads=(
+        WorkloadSpec(
+            id="sharded-100k",
+            dataset="shard-gn-100k",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=32,
+            shards=64,
+        ),
+        WorkloadSpec(
+            id="sharded-100k/s16",
+            dataset="shard-gn-100k",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=16,
+            shards=16,
+        ),
+        WorkloadSpec(
+            id="sharded-100k/s256",
+            dataset="shard-gn-100k",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=16,
+            shards=256,
+        ),
+        WorkloadSpec(
+            id="sharded-1m",
+            dataset="shard-gn-1m",
+            kind="sharded",
+            solver="maxsum-appro",
+            num_keywords=6,
+            queries=8,
+            shards=64,
+        ),
+    ),
+    seed=7,
+)
+
 #: The registry ``coskq-bench run --profile <name>`` resolves against.
 PROFILES: Dict[str, Profile] = {
-    profile.name: profile for profile in (_SMOKE, _QUICK, _FULL)
+    profile.name: profile for profile in (_SMOKE, _QUICK, _FULL, _SHARD)
 }
 
 

@@ -189,8 +189,15 @@ class WorkerEnv:
     max_entries: int = 16
     cache: CacheSpec = field(default_factory=CacheSpec)
     chaos: Optional[ChaosSpec] = None
+    #: ``> 0`` builds a :class:`~repro.shard.index.ShardedIndex` with
+    #: that many STR shards instead of one IR-tree; bare (non-resilient,
+    #: non-chaos) solver specs then run through the
+    #: :class:`~repro.shard.engine.ScatterGather` pruning engine.
+    shards: int = 0
 
     def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise InvalidParameterError("shards must be >= 0")
         if self.chaos is not None and self.cache.caches_results:
             raise InvalidParameterError(
                 "result caching under chaos is unsound: a cached answer "

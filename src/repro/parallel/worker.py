@@ -34,12 +34,14 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.base import SearchContext
+from repro.cost.functions import cost_by_name
 from repro.errors import ExecutionFailedError
 from repro.exec.chaos import ChaosIndex
 from repro.index.cache import CachingIndex
 from repro.model.query import Query
 from repro.parallel.cache import CachedSolver, ResultCache
 from repro.parallel.spec import SolverSpec, WorkerEnv
+from repro.shard.index import ShardedIndexFactory
 
 __all__ = [
     "WorkerRuntime",
@@ -62,7 +64,17 @@ class WorkerRuntime:
     def __init__(self, env: WorkerEnv, validate: bool = True):
         self.env = env
         self.validate = validate
-        base = SearchContext(env.dataset, max_entries=env.max_entries)
+        if env.shards > 0:
+            base = SearchContext(
+                env.dataset,
+                max_entries=env.max_entries,
+                index_cls=ShardedIndexFactory(env.shards),
+            )
+        else:
+            base = SearchContext(env.dataset, max_entries=env.max_entries)
+        # The raw (uncached, unwrapped) sharded context: the scatter-gather
+        # engine needs the bare facade to read summaries and restrict it.
+        self._sharded_context = base if env.shards > 0 else None
         self.index_cache: Optional[CachingIndex] = None
         if env.cache.caches_index:
             self.index_cache = CachingIndex(
@@ -95,7 +107,21 @@ class WorkerRuntime:
             return spec.build(context)
         solver = self._solvers.get(spec)
         if solver is None:
-            solver = spec.build(self.context)
+            if self._sharded_context is not None and not spec.resilient:
+                # Bare registry solvers route through the scatter-gather
+                # engine so shard pruning happens inside the worker;
+                # resilient chains run directly over the sharded facade
+                # (their stages still answer bit-identically — the
+                # facade conforms to the index protocol — they just
+                # skip the per-query shard restriction).
+                from repro.shard.engine import ScatterGather
+
+                cost = cost_by_name(spec.cost) if spec.cost is not None else None
+                solver = ScatterGather(
+                    self._sharded_context, spec.algorithm, cost=cost
+                )
+            else:
+                solver = spec.build(self.context)
             if self.result_cache is not None:
                 solver = CachedSolver(solver, self.result_cache, cost_name=spec.cost)
             self._solvers[spec] = solver

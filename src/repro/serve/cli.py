@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoization layers (default: %(default)s)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve a sharded index with N STR shards (0 = single IR-tree)",
+    )
+    parser.add_argument(
         "--chaos-fail-rate",
         type=float,
         default=None,
@@ -132,6 +139,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         work_budget=args.work_budget,
         max_inflight=args.max_inflight,
         cache_mode=cache_mode,
+        shards=args.shards,
         chaos=chaos,
         verbose=args.verbose,
     )
@@ -155,8 +163,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 1
     print(
-        "serving %d objects on %s (chain: %s)"
-        % (len(dataset), server.url, config.chain),
+        "serving %d objects on %s (chain: %s%s)"
+        % (
+            len(dataset),
+            server.url,
+            config.chain,
+            ", shards: %d" % config.shards if config.shards else "",
+        ),
         file=sys.stderr,
     )
     try:

@@ -79,12 +79,19 @@ class ServerConfig:
     result_cache_capacity: int = 1024
     latency_window: int = DEFAULT_LATENCY_WINDOW
     max_entries: int = 16
+    #: ``> 0`` serves a :class:`~repro.shard.index.ShardedIndex` with
+    #: that many STR shards behind the same request path; the immutable
+    #: shard summaries are shared read-only across request threads
+    #: (docs/SHARDING.md).
+    shards: int = 0
     chaos: Optional[ChaosSpec] = field(default=None)
     #: Log one line per request to stderr (off by default: the load
     #: generator would drown the terminal).
     verbose: bool = False
 
     def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise InvalidParameterError("shards must be >= 0")
         if self.max_inflight < 0:
             raise InvalidParameterError("max_inflight must be >= 0 (0 = drain)")
         if self.deadline_ms is not None and self.deadline_ms <= 0:

@@ -58,6 +58,7 @@ from repro.parallel.cache import CachedSolver, ResultCache
 from repro.serve.admission import AdmissionController
 from repro.serve.config import ServerConfig
 from repro.serve.stats import ServerStats
+from repro.shard.index import ShardedIndex, ShardedIndexFactory
 
 __all__ = [
     "OUTCOME_STATUS",
@@ -132,7 +133,17 @@ class QueryService:
         self.config = config if config is not None else ServerConfig()
         self.clock: Clock = clock if clock is not None else MonotonicClock()
         self.dataset = dataset
-        base = SearchContext(dataset, max_entries=self.config.max_entries)
+        if self.config.shards > 0:
+            base = SearchContext(
+                dataset,
+                max_entries=self.config.max_entries,
+                index_cls=ShardedIndexFactory(self.config.shards),
+            )
+        else:
+            base = SearchContext(dataset, max_entries=self.config.max_entries)
+        # The unwrapped context: its index is the raw ShardedIndex when
+        # sharding is on (read by /stats for shard observability).
+        self._base_context = base
         self.index_cache: Optional[CachingIndex] = None
         if self.config.caches_index:
             self.index_cache = CachingIndex(
@@ -476,7 +487,24 @@ class QueryService:
         payload["cache"] = caches
         payload["chain"] = self.config.chain
         payload["chaos"] = self.config.chaos is not None
+        sharded = self.sharded_index
+        if sharded is not None:
+            payload["shards"] = {
+                "requested": self.config.shards,
+                "count": sharded.shard_count,
+                "objects": [s.summary.count for s in sharded.shards],
+                "stats": sharded.stats.as_dict(),
+            }
         return payload
+
+    @property
+    def sharded_index(self) -> Optional[ShardedIndex]:
+        """The raw sharded facade, or None when serving a single IR-tree."""
+        if self.config.shards <= 0:
+            return None
+        index = self._base_context.index
+        assert isinstance(index, ShardedIndex)
+        return index
 
     def health_payload(self) -> Dict[str, object]:
         """The ``/healthz`` JSON: liveness plus what this daemon serves."""
@@ -490,6 +518,7 @@ class QueryService:
             "chain": self.config.chain,
             "inflight": self.admission.inflight,
             "max_inflight": self.config.max_inflight,
+            "shards": self.config.shards,
         }
 
     def vocabulary_payload(self, limit: int = 50) -> Dict[str, object]:

@@ -148,6 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoization for --batch: index lookups, whole results, or both",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "query a sharded index with N STR shards through the "
+            "scatter-gather engine (0 = single IR-tree); answers are "
+            "bit-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--algorithm",
         default="maxsum-exact",
         choices=sorted(ALGORITHM_NAMES),
@@ -236,7 +247,9 @@ def _run_batch(args: argparse.Namespace, dataset: Dataset) -> int:
         work_budget=args.budget,
         always_answer=not args.hard_deadline,
     )
-    env = WorkerEnv(dataset=dataset, cache=CacheSpec(mode=args.cache))
+    env = WorkerEnv(
+        dataset=dataset, cache=CacheSpec(mode=args.cache), shards=args.shards
+    )
     with ParallelBatchExecutor(env, spec, workers=args.workers) as engine:
         report = engine.run(queries)
     print(report.summary())
@@ -261,6 +274,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.demo == (args.dataset is not None):
         print("provide a dataset file or --demo (not both)", file=sys.stderr)
+        return 2
+    if args.shards < 0:
+        print("--shards must be >= 0", file=sys.stderr)
         return 2
     if args.batch is not None:
         if args.at is not None or args.keywords is not None:
@@ -288,7 +304,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             dataset = Dataset.load(args.dataset)
         if args.batch is not None:
             return _run_batch(args, dataset)
-        context = SearchContext(dataset)
+        if args.shards > 0:
+            from repro.shard import ShardedIndexFactory
+
+            context = SearchContext(
+                dataset, index_cls=ShardedIndexFactory(args.shards)
+            )
+        else:
+            context = SearchContext(dataset)
         x, y = args.at
         query = Query.from_words(x, y, args.keywords, dataset.vocabulary)
         cost = cost_by_name(args.cost) if args.cost else None
@@ -333,8 +356,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             for rank, result in enumerate(topk.solve_topk(query), start=1):
                 _print_result(result, dataset, query, rank)
         else:
-            algorithm = make_algorithm(args.algorithm, context, cost=cost)
-            _print_result(algorithm.solve(query), dataset, query, None)
+            if args.shards > 0:
+                from repro.shard import ScatterGather
+
+                algorithm = ScatterGather(context, args.algorithm, cost=cost)
+            else:
+                algorithm = make_algorithm(args.algorithm, context, cost=cost)
+            result = algorithm.solve(query)
+            _print_result(result, dataset, query, None)
+            if args.shards > 0:
+                print(
+                    "  [shards: scanned %d of %d]"
+                    % (
+                        result.counters.get("shards_scanned", 0),
+                        result.counters.get("shards_total", 0),
+                    )
+                )
         return 0
     except ExecutionError as exc:
         print("error: %s" % exc, file=sys.stderr)

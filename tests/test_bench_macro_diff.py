@@ -46,6 +46,7 @@ def make_summary(
                 "toggles": {"kernels": True, "signatures": True},
                 "queries": 200,
                 "num_keywords": 6,
+                "shards": 0,
                 "failures": 0,
                 "wall_s": 200 * base / 1_000.0,
                 "throughput_qps": (1_000.0 / base) * throughput_scale,

@@ -30,6 +30,7 @@ class TestFilesExist:
             "docs/STATIC_ANALYSIS.md",
             "docs/SERVING.md",
             "docs/BENCHMARKS.md",
+            "docs/SHARDING.md",
         ],
     )
     def test_present_and_substantial(self, name):
@@ -113,6 +114,28 @@ class TestReadme:
             assert "%s:" % target in makefile, target
         assert "coskq-bench-macro" in read("pyproject.toml")
         assert "docs/BENCHMARKS.md" in read("README.md")
+
+    def test_sharding_doc_is_current(self):
+        # docs/SHARDING.md promises the mask-only solver set, the shard
+        # make targets and a recorded benchmark file; fail if they move.
+        from repro.shard import MASK_ONLY_SOLVERS
+
+        doc = read("docs/SHARDING.md")
+        for name in MASK_ONLY_SOLVERS:
+            assert "`%s`" % name in doc, name
+        makefile = read("Makefile")
+        for target in ("shard-check", "shard-bench"):
+            assert "make %s" % target in doc, target
+            assert "%s:" % target in makefile, target
+        assert "BENCH_shard.json" in doc
+        assert (ROOT / "BENCH_shard.json").exists()
+        assert "docs/SHARDING.md" in read("README.md")
+        # The profile the doc says produced BENCH_shard.json must exist
+        # and consist of sharded cells only.
+        from repro.bench.macro import PROFILES
+
+        shard_profile = PROFILES["shard"]
+        assert all(w.kind == "sharded" for w in shard_profile.workloads)
 
     def test_macro_golden_fixture_exists(self):
         golden = ROOT / "tests" / "fixtures" / "bench_macro_smoke.golden.json"
