@@ -1,0 +1,80 @@
+"""Appro-seeded exact pruning on the adversarial ladder (docs/ADAPTIVE.md).
+
+Times the owner-driven exact search plain and seeded with its appro
+counterpart's feasible cost over the same prebuilt ladder index,
+asserting bit-identical answers before any timing is trusted, plus the
+``adaptive_study`` report artifact.  ``make adaptive-bench`` writes the
+same study to ``BENCH_adaptive.json``.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, write_report
+from repro.adaptive import AdaptivePlanner
+from repro.adaptive.seeding import compute_seed
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import make_algorithm
+from repro.bench.experiments import run_experiment
+from repro.data.generators import WORLD_SIZE, ladder_dataset, ladder_keywords
+from repro.model.query import Query
+
+K = 9
+
+
+@pytest.fixture(scope="module")
+def ladder_context():
+    context = SearchContext(ladder_dataset(seed=BENCH_SCALE.seed))
+    context.index  # build outside the timed region
+    return context
+
+
+@pytest.fixture(scope="module")
+def ladder_query(ladder_context):
+    center = WORLD_SIZE / 2.0
+    return Query.create(
+        center, center, ladder_keywords(ladder_context.dataset, K)
+    )
+
+
+@pytest.mark.parametrize("mode", ["plain", "seeded"])
+def test_exact_by_seeding_mode(benchmark, ladder_context, ladder_query, mode):
+    exact = make_algorithm("maxsum-exact", ladder_context)
+
+    def timed():
+        if mode == "plain":
+            return exact.solve(ladder_query)
+        seed = compute_seed(ladder_context, exact.cost, ladder_query)
+        return exact.solve(ladder_query, initial_upper_bound=seed.cost)
+
+    result = benchmark.pedantic(timed, rounds=3, iterations=1)
+    assert result.is_feasible_for(ladder_query)
+
+
+def test_planner_end_to_end(benchmark, ladder_context, ladder_query):
+    planner = AdaptivePlanner(ladder_context, algorithm="maxsum-exact")
+    result = benchmark.pedantic(
+        planner.solve, args=(ladder_query,), rounds=3, iterations=1
+    )
+    assert result.is_feasible_for(ladder_query)
+
+
+def test_seeding_is_bit_identical(ladder_context, ladder_query):
+    exact = make_algorithm("maxsum-exact", ladder_context)
+    plain = exact.solve(ladder_query)
+    seed = compute_seed(ladder_context, exact.cost, ladder_query)
+    seeded = exact.solve(ladder_query, initial_upper_bound=seed.cost)
+    assert seeded.cost == plain.cost
+    assert sorted(o.oid for o in seeded.objects) == sorted(
+        o.oid for o in plain.objects
+    )
+
+
+def test_adaptive_study_report(benchmark):
+    report = benchmark.pedantic(
+        run_experiment,
+        args=("adaptive_study",),
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1,
+    )
+    write_report("adaptive_study", report)
+    assert "seeded speedup" in report

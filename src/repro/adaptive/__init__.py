@@ -1,0 +1,42 @@
+"""Adaptive execution: appro-seeded exact pruning + feature-driven planning.
+
+The package turns the paper's appro/exact pairing into a runtime system:
+
+- :mod:`repro.adaptive.seeding` — the one place that knows which cheap
+  approximation soundly seeds which exact search (the
+  ``initial_upper_bound`` contract of :meth:`CoSKQAlgorithm.solve`);
+- :mod:`repro.adaptive.features` — cheap per-query features
+  (:class:`QueryFeatures`) extracted from the indexes already built;
+- :mod:`repro.adaptive.model` — a stdlib-only logistic hardness
+  predictor, trainable offline from execution provenance records;
+- :mod:`repro.adaptive.planner` — :class:`AdaptivePlanner`, which picks
+  solver, seeding, and budget split per query under an
+  :class:`~repro.exec.policy.ExecutionPolicy` deadline.
+
+See docs/ADAPTIVE.md for the architecture and the seeding soundness
+argument.
+"""
+
+from repro.adaptive.features import QueryFeatures, extract_features
+from repro.adaptive.model import HardnessModel
+from repro.adaptive.planner import AdaptivePlanner, PlanDecision
+from repro.adaptive.seeding import (
+    APPRO_COUNTERPARTS,
+    SeedOutcome,
+    appro_counterpart,
+    compute_seed,
+    make_seeder,
+)
+
+__all__ = [
+    "APPRO_COUNTERPARTS",
+    "AdaptivePlanner",
+    "HardnessModel",
+    "PlanDecision",
+    "QueryFeatures",
+    "SeedOutcome",
+    "appro_counterpart",
+    "compute_seed",
+    "extract_features",
+    "make_seeder",
+]

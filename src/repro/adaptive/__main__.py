@@ -1,0 +1,6 @@
+"""``python -m repro.adaptive`` — the CLI without the console script."""
+
+from repro.adaptive.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""The ``coskq-adaptive`` command line: collect → train → eval.
+
+Usage::
+
+    coskq-adaptive collect --demo --queries 32 --out records.jsonl
+    coskq-adaptive collect data.tsv --queries 64 --num-keywords 6 \
+        --algorithm maxsum-exact --out records.jsonl
+    coskq-adaptive train records.jsonl --out model.json --hard-ms 50
+    coskq-adaptive eval records.jsonl --model model.json
+
+``collect`` runs a generated workload (or one derived from a dataset
+file) through a solver and writes JSONL training records; ``train``
+fits the stdlib logistic :class:`~repro.adaptive.model.HardnessModel`
+and writes it as JSON; ``eval`` reports holdout accuracy/precision/
+recall of a model against a records file.  The trained model plugs into
+``coskq-query --adaptive --model model.json`` and
+``coskq-serve --adaptive``.
+
+Exit codes: 0 on success, 1 on library/I-O errors, 2 on usage errors —
+the same convention as every other console script in the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.adaptive.model import HardnessModel
+from repro.adaptive.train import (
+    collect_records,
+    evaluate_model,
+    load_records,
+    save_records,
+    train_from_records,
+)
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import ALGORITHM_NAMES
+from repro.cost.functions import ALL_COSTS, cost_by_name
+from repro.data.queries import QueryWorkload
+from repro.errors import CoSKQError
+from repro.model.dataset import Dataset
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coskq-adaptive",
+        description="Collect training records and fit the query-hardness model.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    collect = commands.add_parser(
+        "collect", help="run a workload and write JSONL training records"
+    )
+    collect.add_argument("dataset", nargs="?", help="dataset file (text format)")
+    collect.add_argument(
+        "--demo",
+        action="store_true",
+        help="use a generated demo dataset instead of a file",
+    )
+    collect.add_argument(
+        "--queries", type=int, default=32, metavar="N", help="workload size"
+    )
+    collect.add_argument(
+        "--num-keywords",
+        type=int,
+        default=4,
+        metavar="K",
+        help="keywords per generated query (default: 4)",
+    )
+    collect.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default: 0)"
+    )
+    collect.add_argument(
+        "--algorithm",
+        default="maxsum-exact",
+        choices=sorted(ALGORITHM_NAMES),
+        help="solver to measure (default: maxsum-exact)",
+    )
+    collect.add_argument(
+        "--cost",
+        default=None,
+        choices=sorted(ALL_COSTS),
+        help="override the solver's default cost function",
+    )
+    collect.add_argument(
+        "--out", required=True, metavar="FILE", help="records file to write (JSONL)"
+    )
+
+    train = commands.add_parser(
+        "train", help="fit the hardness model from a records file"
+    )
+    train.add_argument("records", help="JSONL records from `collect`")
+    train.add_argument(
+        "--out", required=True, metavar="FILE", help="model file to write (JSON)"
+    )
+    train.add_argument(
+        "--hard-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="latency above which a query is labeled hard (default: median)",
+    )
+    train.add_argument(
+        "--epochs", type=int, default=400, help="gradient-descent epochs"
+    )
+
+    evaluate = commands.add_parser(
+        "eval", help="report model accuracy against a records file"
+    )
+    evaluate.add_argument("records", help="JSONL records from `collect`")
+    evaluate.add_argument(
+        "--model", required=True, metavar="FILE", help="model JSON from `train`"
+    )
+    evaluate.add_argument(
+        "--hard-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="label threshold for the evaluation (default: median)",
+    )
+    return parser
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    if args.demo == (args.dataset is not None):
+        print("provide a dataset file or --demo (not both)", file=sys.stderr)
+        return 2
+    if args.queries < 1 or args.num_keywords < 1:  # repro: noqa(R9) — CLI ints, not keyword sets
+        print("--queries and --num-keywords must be >= 1", file=sys.stderr)
+        return 2
+    if args.demo:
+        from repro.data.generators import hotel_like
+
+        dataset = hotel_like(scale=0.1, seed=0)
+    else:
+        dataset = Dataset.load(args.dataset)
+    context = SearchContext(dataset)
+    workload = QueryWorkload(
+        dataset, num_keywords=args.num_keywords, seed=args.seed
+    )
+    queries = workload.generate(args.queries)
+    cost = cost_by_name(args.cost) if args.cost else None
+    records = collect_records(
+        context, queries, algorithm=args.algorithm, cost=cost
+    )
+    save_records(args.out, records)
+    print(
+        "collected %d records (%s on %s) -> %s"
+        % (len(records), args.algorithm, dataset.name, args.out)
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    records = load_records(args.records)
+    model = train_from_records(
+        records, hard_ms=args.hard_ms, epochs=args.epochs
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(model.to_json())
+        handle.write("\n")
+    print(
+        "trained on %d records (%d hard, hard_ms=%.4g, loss=%.4g) -> %s"
+        % (
+            model.meta["samples"],
+            model.meta["positives"],
+            model.meta["hard_ms"],
+            model.meta["final_loss"],
+            args.out,
+        )
+    )
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    records = load_records(args.records)
+    with open(args.model, "r", encoding="utf-8") as handle:
+        model = HardnessModel.from_json(handle.read())
+    metrics = evaluate_model(model, records, hard_ms=args.hard_ms)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "collect":
+            return _cmd_collect(args)
+        if args.command == "train":
+            return _cmd_train(args)
+        return _cmd_eval(args)
+    except CoSKQError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    except (OSError, ValueError, KeyError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Cheap per-query features for the adaptive planner.
+
+:func:`extract_features` reads only structures the engine has already
+built — posting-list lengths from the inverted index, the per-keyword
+nearest-neighbor distances behind ``N(q)``, shard summaries when a
+:class:`~repro.shard.index.ShardedIndex` is active — so extraction costs
+a handful of index probes per query, no allocation beyond the frozen
+:class:`QueryFeatures` itself.
+
+The features deliberately mirror what drives the exact search's running
+time (docs/ADAPTIVE.md §2): keyword count bounds the cover-enumeration
+branching, selectivities size the candidate universe, the anchor spread
+``d_f − d_n`` measures how staggered the owner staircase is, and the
+shard fan-out scales the scatter width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.algorithms.base import SearchContext
+from repro.index.signatures import mask_of, overlaps
+from repro.model.query import Query
+
+__all__ = ["QueryFeatures", "extract_features"]
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """One query's planning signature.
+
+    Selectivities are document frequencies (posting-list lengths) of the
+    query keywords; ``relevant_universe`` is the size of the paper's
+    relevant-object set ``O_q`` (distinct carriers of any query
+    keyword); ``d_f``/``d_n`` are the farthest/nearest per-keyword
+    nearest-neighbor distances behind ``N(q)`` and ``anchor_spread``
+    their difference; ``shard_fanout`` counts the shards the mask rule
+    keeps (1 over an unsharded index).
+    """
+
+    num_keywords: int
+    relevant_universe: int
+    min_selectivity: int
+    max_selectivity: int
+    mean_selectivity: float
+    d_f: float
+    d_n: float
+    anchor_spread: float
+    shard_fanout: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat JSON-ready mapping (insertion order = field order)."""
+        return {
+            "num_keywords": self.num_keywords,
+            "relevant_universe": self.relevant_universe,
+            "min_selectivity": self.min_selectivity,
+            "max_selectivity": self.max_selectivity,
+            "mean_selectivity": self.mean_selectivity,
+            "d_f": self.d_f,
+            "d_n": self.d_n,
+            "anchor_spread": self.anchor_spread,
+            "shard_fanout": self.shard_fanout,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, float]) -> "QueryFeatures":
+        return QueryFeatures(
+            num_keywords=int(payload["num_keywords"]),
+            relevant_universe=int(payload["relevant_universe"]),
+            min_selectivity=int(payload["min_selectivity"]),
+            max_selectivity=int(payload["max_selectivity"]),
+            mean_selectivity=float(payload["mean_selectivity"]),
+            d_f=float(payload["d_f"]),
+            d_n=float(payload["d_n"]),
+            anchor_spread=float(payload["anchor_spread"]),
+            shard_fanout=int(payload["shard_fanout"]),
+        )
+
+
+def extract_features(context: SearchContext, query: Query) -> QueryFeatures:
+    """Extract :class:`QueryFeatures` for ``query`` over ``context``.
+
+    Raises :class:`~repro.errors.InfeasibleQueryError` (through the
+    ``N(q)`` computation) exactly where a solver would, so the planner
+    never plans an uncoverable query.
+    """
+    inverted = context.inverted
+    frequencies = [inverted.document_frequency(t) for t in query.keywords]
+    # Distinct carriers without materializing O_q: walk posting lists of
+    # oids (ints), not objects.
+    seen: set = set()
+    for t in query.keywords:
+        seen.update(inverted.posting_list(t))
+
+    nn = context.nn_set(query)
+    d_n = min(dist for dist, _ in nn.by_keyword.values())
+
+    index = context.index
+    shards = getattr(index, "shards", None)
+    if shards is None:
+        fanout = 1
+    else:
+        q_mask = mask_of(query.keywords)
+        fanout = sum(
+            1 for shard in shards if overlaps(q_mask, shard.summary.kw_mask)
+        )
+    return QueryFeatures(
+        num_keywords=len(query.keywords),
+        relevant_universe=len(seen),
+        min_selectivity=min(frequencies),
+        max_selectivity=max(frequencies),
+        mean_selectivity=sum(frequencies) / len(frequencies),
+        d_f=nn.d_f,
+        d_n=d_n,
+        anchor_spread=nn.d_f - d_n,
+        shard_fanout=fanout,
+    )

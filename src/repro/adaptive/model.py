@@ -1,0 +1,228 @@
+"""A stdlib-only query-hardness predictor.
+
+:class:`HardnessModel` is logistic regression over the
+:class:`~repro.adaptive.features.QueryFeatures` vector: features are
+standardized with training-set means/scales, combined linearly, and
+squashed to the probability that an exact solve blows its latency
+target.  Everything — training (batch gradient descent with L2),
+serialization (plain JSON), inference — is ``math`` + ``json``, so the
+predictor loads anywhere the library does, with no third-party
+dependencies.
+
+An untrained deployment uses :meth:`HardnessModel.default`, a heuristic
+prior encoding what every CoSKQ running-time figure shows: hardness
+grows with the keyword count and the relevant universe, and shrinks when
+the anchor spread is tight (the owner staircase is short).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.adaptive.features import QueryFeatures
+from repro.errors import InvalidParameterError
+
+__all__ = ["FEATURE_NAMES", "HardnessModel"]
+
+#: Model feature order — must match ``QueryFeatures.as_dict`` keys.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "num_keywords",
+    "relevant_universe",
+    "min_selectivity",
+    "max_selectivity",
+    "mean_selectivity",
+    "d_f",
+    "d_n",
+    "anchor_spread",
+    "shard_fanout",
+)
+
+#: Serialization format tag; bump on incompatible layout changes.
+FORMAT = "coskq-hardness-model/1"
+
+
+def _sigmoid(z: float) -> float:
+    # Branch on the sign so the exp argument is always non-positive:
+    # no overflow for any finite z.
+    if z >= 0.0:
+        return 1.0 / (1.0 + math.exp(-z))
+    e = math.exp(z)
+    return e / (1.0 + e)
+
+
+@dataclass
+class HardnessModel:
+    """Logistic ``P(hard)`` over standardized query features."""
+
+    weights: Dict[str, float]
+    bias: float = 0.0
+    #: Per-feature (mean, scale) used to standardize inputs; scale is
+    #: never zero (constant training columns get scale 1).
+    standardize: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: Decision threshold for :meth:`predict_hard`.
+    threshold: float = 0.5
+    #: Free-form provenance (training set size, loss, label rule, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - set(FEATURE_NAMES)
+        if unknown:
+            raise InvalidParameterError(
+                "unknown hardness features %s; known: %s"
+                % (sorted(unknown), list(FEATURE_NAMES))
+            )
+
+    # -- inference ----------------------------------------------------------
+
+    def score(self, features: QueryFeatures) -> float:
+        """The linear score ``w·x̃ + b`` (pre-sigmoid)."""
+        values = features.as_dict()
+        z = self.bias
+        for name, weight in self.weights.items():
+            x = float(values[name])
+            mean, scale = self.standardize.get(name, (0.0, 1.0))
+            z += weight * ((x - mean) / scale)
+        return z
+
+    def predict_proba(self, features: QueryFeatures) -> float:
+        """``P(hard)`` in (0, 1)."""
+        return _sigmoid(self.score(features))
+
+    def predict_hard(self, features: QueryFeatures) -> bool:
+        """Whether the query should be planned as hard."""
+        return self.predict_proba(features) >= self.threshold
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT,
+            "weights": dict(self.weights),
+            "bias": self.bias,
+            "standardize": {k: list(v) for k, v in self.standardize.items()},
+            "threshold": self.threshold,
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "HardnessModel":
+        if payload.get("format") != FORMAT:
+            raise InvalidParameterError(
+                "not a %s payload (format=%r)" % (FORMAT, payload.get("format"))
+            )
+        return HardnessModel(
+            weights={k: float(v) for k, v in payload["weights"].items()},
+            bias=float(payload["bias"]),
+            standardize={
+                k: (float(v[0]), float(v[1]))
+                for k, v in payload.get("standardize", {}).items()
+            },
+            threshold=float(payload.get("threshold", 0.5)),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "HardnessModel":
+        return HardnessModel.from_dict(json.loads(text))
+
+    # -- defaults and training ----------------------------------------------
+
+    @staticmethod
+    def default() -> "HardnessModel":
+        """The heuristic prior used before any training data exists.
+
+        Weights are on raw (unstandardized) features, scaled so typical
+        workloads land on both sides of the threshold: ~9 keywords over
+        a few hundred relevant objects scores hard, ~3 keywords over a
+        few dozen scores easy.
+        """
+        return HardnessModel(
+            weights={
+                "num_keywords": 0.55,
+                "relevant_universe": 0.004,
+                "anchor_spread": 0.5,
+            },
+            bias=-4.0,
+            meta={"source": "heuristic-default"},
+        )
+
+    @staticmethod
+    def train(
+        rows: Sequence[QueryFeatures],
+        labels: Sequence[bool],
+        epochs: int = 400,
+        learning_rate: float = 0.5,
+        l2: float = 1e-3,
+        threshold: float = 0.5,
+    ) -> "HardnessModel":
+        """Fit by full-batch gradient descent on the logistic loss.
+
+        Deterministic (no random init, fixed iteration order), so the
+        same provenance records always train byte-identical models.
+        """
+        if len(rows) != len(labels):
+            raise InvalidParameterError(
+                "got %d feature rows but %d labels" % (len(rows), len(labels))
+            )
+        if not rows:
+            raise InvalidParameterError("cannot train on an empty sample")
+        names = FEATURE_NAMES
+        matrix: List[List[float]] = [
+            [float(r.as_dict()[name]) for name in names] for r in rows
+        ]
+        n = len(matrix)
+        # Standardize: zero-mean, unit mean-absolute-deviation (robust
+        # enough here and keeps the arithmetic exactly reproducible).
+        standardize: Dict[str, Tuple[float, float]] = {}
+        for j, name in enumerate(names):
+            column = [row[j] for row in matrix]
+            mean = sum(column) / n
+            spread = sum(abs(x - mean) for x in column) / n
+            scale = spread if spread > 0.0 else 1.0
+            standardize[name] = (mean, scale)
+            for row in matrix:
+                row[j] = (row[j] - mean) / scale
+        y = [1.0 if flag else 0.0 for flag in labels]
+        w = [0.0] * len(names)
+        b = 0.0
+        loss = float("nan")
+        for _ in range(epochs):
+            grad_w = [l2 * wj for wj in w]
+            grad_b = 0.0
+            loss = 0.0
+            for row, target in zip(matrix, y):
+                z = b + sum(wj * xj for wj, xj in zip(w, row))
+                p = _sigmoid(z)
+                err = p - target
+                for j, xj in enumerate(row):
+                    grad_w[j] += err * xj / n
+                grad_b += err / n
+                # Clamped log-loss, for reporting only.
+                p_safe = min(max(p, 1e-12), 1.0 - 1e-12)
+                loss -= (
+                    target * math.log(p_safe)
+                    + (1.0 - target) * math.log(1.0 - p_safe)
+                ) / n
+            w = [wj - learning_rate * gj for wj, gj in zip(w, grad_w)]
+            b -= learning_rate * grad_b
+        return HardnessModel(
+            weights={name: wj for name, wj in zip(names, w)},
+            bias=b,
+            standardize=standardize,
+            threshold=threshold,
+            meta={
+                "source": "trained",
+                "samples": n,
+                "positives": int(sum(y)),
+                "epochs": epochs,
+                "learning_rate": learning_rate,
+                "l2": l2,
+                "final_loss": loss,
+            },
+        )

@@ -1,0 +1,255 @@
+"""The feature-driven query planner.
+
+:class:`AdaptivePlanner` is a duck-typed solver (``solve`` + ``name``)
+that plans each query before running it:
+
+1. extract :class:`~repro.adaptive.features.QueryFeatures`;
+2. score them with a :class:`~repro.adaptive.model.HardnessModel`;
+3. pick the execution shape: queries predicted *hard* run the appro
+   counterpart first and the exact solver seeded with its cost (one
+   fallback stage, sharing one attempt budget with an explicit split);
+   queries predicted *easy* run the exact solver directly — the exact
+   search's own early owners tighten the incumbent fast enough there
+   that a seeding pass is pure overhead;
+4. execute through a :class:`~repro.exec.executor.ResilientExecutor`
+   under the configured :class:`~repro.exec.policy.ExecutionPolicy`, so
+   deadlines, budgets, retries and degradation keep working exactly as
+   for any other chain;
+5. stamp the decision into the result's
+   :class:`~repro.exec.fallback.ExecutionProvenance` (``planner`` slot).
+
+Seeding never changes answers — only work — by the
+``initial_upper_bound`` contract (docs/ADAPTIVE.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.adaptive.features import QueryFeatures, extract_features
+from repro.adaptive.model import HardnessModel
+from repro.adaptive.seeding import appro_counterpart
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import make_algorithm
+from repro.cost.base import CostFunction
+from repro.errors import SearchAbortedError
+from repro.exec.clock import Clock
+from repro.exec.executor import ResilientExecutor
+from repro.exec.fallback import ExecutionProvenance, FallbackChain, stage_ratio
+from repro.exec.policy import Budget, ExecutionPolicy
+from repro.model.query import Query
+from repro.model.result import CoSKQResult
+
+__all__ = ["AdaptivePlanner", "PlanDecision", "SeededStage"]
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """What the planner decided for one query, before running it.
+
+    ``seed_cost`` is filled in after execution (None when the plan was
+    unseeded or the seeding pass was starved out by its budget split).
+    """
+
+    solver: str
+    seeder: Optional[str]
+    hardness: float
+    hard: bool
+    features: QueryFeatures
+    seed_cost: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON-ready record stamped into execution provenance."""
+        return {
+            "solver": self.solver,
+            "seeder": self.seeder,
+            "hardness": self.hardness,
+            "hard": self.hard,
+            "seed_cost": self.seed_cost,
+            "features": self.features.as_dict(),
+        }
+
+
+class SeededStage:
+    """One fallback stage: appro counterpart first, exact seeded with it.
+
+    Duck-types the solver interface so it drops into a
+    :class:`FallbackChain`.  The executor-attached budget is split: when
+    it carries a work limit, the seeding pass runs under a fresh
+    sub-budget of ``seed_fraction`` of that limit (same deadline), so a
+    pathological seeder cannot starve the exact pass; a seeding pass
+    that blows its split is swallowed and the exact solver simply runs
+    unseeded.  The exact pass spends from the attempt budget itself.
+    """
+
+    def __init__(self, appro, exact_solver, seed_fraction: float = 0.25):
+        self._appro = appro
+        self._exact = exact_solver
+        self.seed_fraction = seed_fraction
+        self.name = "seeded[%s<-%s]" % (exact_solver.name, appro.name)
+        #: Exactness/ratio mirror the exact pass — the stage's answer is
+        #: the exact solver's answer (the seed only prunes).
+        self.exact = getattr(exact_solver, "exact", False)
+        self.ratio = getattr(exact_solver, "ratio", None)
+        self.ratio_cost = getattr(exact_solver, "ratio_cost", None)
+        #: Seed cost of the most recent solve (None when starved).
+        self.last_seed_cost: Optional[float] = None
+        self._budget = None
+
+    @property
+    def budget(self):
+        return self._budget
+
+    @budget.setter
+    def budget(self, value) -> None:
+        self._budget = value
+        self._exact.budget = value
+
+    def _seed_budget(self):
+        budget = self._budget
+        if budget is None or budget.work_limit is None:
+            return budget
+        return Budget(
+            work_limit=max(1, int(budget.work_limit * self.seed_fraction)),
+            deadline_at=budget.deadline_at,
+            clock=budget.clock,
+            started=budget.started,
+            checkpoint_interval=budget.checkpoint_interval,
+        )
+
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
+        self.last_seed_cost = None
+        self._appro.budget = self._seed_budget()
+        try:
+            seeded = self._appro.solve(query)
+            self.last_seed_cost = seeded.cost
+        except SearchAbortedError:
+            pass  # starved seeding pass: run the exact search unseeded
+        finally:
+            self._appro.budget = None
+        bound = initial_upper_bound
+        if self.last_seed_cost is not None:
+            bound = (
+                self.last_seed_cost
+                if bound is None
+                else min(bound, self.last_seed_cost)
+            )
+        if bound is None:
+            result = self._exact.solve(query)
+        else:
+            result = self._exact.solve(query, initial_upper_bound=bound)
+        merged = dict(result.counters)
+        if self.last_seed_cost is not None:
+            merged["seed_runs"] = merged.get("seed_runs", 0) + 1
+            for counter, amount in self._appro.counters.items():
+                key = "seed_" + counter
+                merged[key] = merged.get(key, 0) + amount
+        return CoSKQResult.of(
+            result.objects, result.cost, result.algorithm, counters=merged
+        )
+
+    def __repr__(self) -> str:
+        return "SeededStage(%s)" % self.name
+
+
+class AdaptivePlanner:
+    """Plan-then-execute wrapper around a registered exact solver.
+
+    ``algorithm`` names the strongest solver wanted (usually exact);
+    its appro counterpart (from :data:`APPRO_COUNTERPARTS`) becomes both
+    the seeder and the degradation stage.  ``last_resort`` (default the
+    always-cheap ``N(q)``) terminates both chains, preserving the
+    resilient executor's always-answer guarantee.
+    """
+
+    def __init__(
+        self,
+        context: SearchContext,
+        algorithm: str = "maxsum-exact",
+        cost: Optional[CostFunction] = None,
+        model: Optional[HardnessModel] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        clock: Optional[Clock] = None,
+        seed_fraction: float = 0.25,
+        last_resort: str = "nn-set",
+    ):
+        self.context = context
+        self.algorithm = algorithm
+        self.model = model if model is not None else HardnessModel.default()
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        strongest = make_algorithm(algorithm, context, cost)
+        self.cost = strongest.cost
+        self.name = "adaptive[%s]" % algorithm
+
+        seeder_name = appro_counterpart(algorithm)
+        self.seeder_name = seeder_name
+        easy_stages = [strongest]
+        if seeder_name is not None:
+            appro_for_seed = make_algorithm(seeder_name, context, self.cost)
+            exact_for_seed = make_algorithm(algorithm, context, cost)
+            seeded = SeededStage(
+                appro_for_seed, exact_for_seed, seed_fraction=seed_fraction
+            )
+            self._seeded_stage: Optional[SeededStage] = seeded
+            hard_stages = [seeded, make_algorithm(seeder_name, context, self.cost)]
+            easy_stages.append(make_algorithm(seeder_name, context, self.cost))
+        else:
+            self._seeded_stage = None
+            hard_stages = [strongest]
+        if last_resort not in (algorithm, seeder_name):
+            hard_stages.append(make_algorithm(last_resort, context, self.cost))
+            easy_stages.append(make_algorithm(last_resort, context, self.cost))
+        self._hard_executor = ResilientExecutor(
+            FallbackChain(hard_stages), policy=self.policy, clock=clock
+        )
+        self._easy_executor = ResilientExecutor(
+            FallbackChain(easy_stages), policy=self.policy, clock=clock
+        )
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, query: Query) -> PlanDecision:
+        """Features + hardness → the execution shape for ``query``."""
+        features = extract_features(self.context, query)
+        hardness = self.model.predict_proba(features)
+        hard = hardness >= self.model.threshold and self._seeded_stage is not None
+        return PlanDecision(
+            solver=self.algorithm,
+            seeder=self.seeder_name if hard else None,
+            hardness=hardness,
+            hard=hard,
+            features=features,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
+        decision = self.plan(query)
+        executor = self._hard_executor if decision.hard else self._easy_executor
+        result = executor.solve(query, initial_upper_bound=initial_upper_bound)
+        if decision.hard and self._seeded_stage is not None:
+            decision = replace(
+                decision, seed_cost=self._seeded_stage.last_seed_cost
+            )
+        provenance = result.provenance
+        if isinstance(provenance, ExecutionProvenance):
+            provenance = replace(provenance, planner=decision.as_dict())
+        else:  # pragma: no cover - executor always stamps provenance
+            provenance = ExecutionProvenance(
+                answered_by=result.algorithm,
+                degraded=False,
+                guaranteed_ratio=stage_ratio(self),
+                planner=decision.as_dict(),
+            )
+        return result.with_provenance(provenance)
+
+    def __repr__(self) -> str:
+        return "AdaptivePlanner(%s, model=%s)" % (
+            self.algorithm,
+            self.model.meta.get("source", "?"),
+        )

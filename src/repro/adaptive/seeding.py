@@ -1,0 +1,119 @@
+"""The shared appro-seeding API.
+
+One module owns the pairing "which cheap approximation soundly produces
+an ``initial_upper_bound`` for which exact search":
+
+- by *registry name* (:data:`APPRO_COUNTERPARTS` /
+  :func:`appro_counterpart`) — the paper's own pairing, used by the CLI
+  and the planner when the caller thinks in registered solver names;
+- by *cost structure* (:func:`make_seeder`) — used by the sharded
+  scatter-gather engine and anywhere else only the cost function is in
+  hand.
+
+Soundness is inherited from the ``initial_upper_bound`` contract
+(:meth:`repro.algorithms.base.CoSKQAlgorithm.solve`): every seeder
+returned here builds a *feasible* set for the query and reports its true
+cost under the target cost function, so its cost is a valid upper bound
+on the optimum and the seeded exact search returns a bit-identical cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.algorithms.base import CoSKQAlgorithm, SearchContext
+from repro.algorithms.owner_appro import OwnerRingApproximation
+from repro.algorithms.sum_algorithms import SumGreedy
+from repro.cost.base import CostFunction, QueryAggregate
+from repro.cost.functions import SumCost
+from repro.model.query import Query
+
+__all__ = [
+    "APPRO_COUNTERPARTS",
+    "SeedOutcome",
+    "appro_counterpart",
+    "compute_seed",
+    "make_seeder",
+]
+
+#: Registered exact solver → the registered approximation that seeds it.
+#: Only solvers whose answer a feasible-cost bound can safely tighten are
+#: listed: top-k is absent (a bound on the best set says nothing about
+#: the k-th) and so is the brute-force oracle (kept exhaustive so the
+#: differential tests can distrust everyone else's pruning).
+APPRO_COUNTERPARTS: Dict[str, str] = {
+    "maxsum-exact": "maxsum-appro",
+    "dia-exact": "dia-appro",
+    "sum-exact": "sum-greedy",
+    "cao-exact": "unified-appro",
+    "bnb-exact": "unified-appro",
+    "unified-exact": "unified-appro",
+}
+
+
+def appro_counterpart(exact_name: str) -> Optional[str]:
+    """The registered appro counterpart of an exact solver name (or None)."""
+    return APPRO_COUNTERPARTS.get(exact_name)
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """What one seeding pass produced.
+
+    ``cost`` is a feasible upper bound on the optimum — the value to pass
+    as ``initial_upper_bound``; ``objects`` is the feasible set realizing
+    it (kept so a deadline-starved planner can degrade to the seed
+    itself); ``counters`` is the seeder's work tally.
+    """
+
+    seeder_name: str
+    cost: float
+    objects: Tuple
+    counters: Dict[str, int]
+
+
+def make_seeder(
+    context: SearchContext, cost: CostFunction
+) -> Optional[CoSKQAlgorithm]:
+    """A cheap approximation suited to seeding an exact search of ``cost``.
+
+    Dispatch is structural, mirroring :func:`make_exact_solver`:
+
+    - pure Sum cost → the weighted-set-cover greedy;
+    - any other non-MIN aggregate → the owner-ring approximation (its
+      owner-distance stopping rule needs the query component of a set
+      containing the owner to be at least the owner's distance, true for
+      both MAX and SUM aggregates);
+    - MIN aggregates → ``None``: no cheap pass with a monotone owner
+      bound exists, so those searches run unseeded.
+    """
+    if cost.query_aggregate is QueryAggregate.MIN:
+        return None
+    if isinstance(cost, SumCost):
+        return SumGreedy(context, cost)
+    return OwnerRingApproximation(context, cost)
+
+
+def compute_seed(
+    context: SearchContext,
+    cost: CostFunction,
+    query: Query,
+    budget=None,
+) -> Optional[SeedOutcome]:
+    """Run the structural seeder once; ``None`` when no seeder applies.
+
+    ``budget`` (duck-typed to :class:`repro.exec.Budget`) is attached to
+    the seeder so a deadline covers the seeding pass too.
+    """
+    seeder = make_seeder(context, cost)
+    if seeder is None:
+        return None
+    seeder.budget = budget
+    result = seeder.solve(query)
+    return SeedOutcome(
+        seeder_name=seeder.name,
+        cost=result.cost,
+        objects=tuple(result.objects),
+        counters=dict(result.counters),
+    )

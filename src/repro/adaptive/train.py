@@ -1,0 +1,211 @@
+"""Offline training loop for the hardness predictor.
+
+The loop is collect → label → fit:
+
+1. **collect** — run a query workload through a solver and record, per
+   query, the extracted :class:`QueryFeatures` next to what actually
+   happened (wall-clock, work counters, answering solver).  Records are
+   plain JSONL, one query per line, so they append across runs and
+   across machines.
+2. **label** — a query is *hard* when its exact solve exceeded a
+   latency threshold (``--hard-ms``, default the collected median — the
+   planner's job is to split the workload, so the median is the natural
+   pivot when no SLO is given).
+3. **fit** — :meth:`HardnessModel.train` (stdlib logistic regression),
+   serialized as JSON for ``coskq-query --adaptive --model``.
+
+Everything here is deterministic given the records file, so retraining
+is reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adaptive.features import QueryFeatures, extract_features
+from repro.adaptive.model import HardnessModel
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import make_algorithm
+from repro.cost.base import CostFunction
+from repro.errors import InvalidParameterError, SearchAbortedError
+from repro.exec.clock import Clock, MonotonicClock
+from repro.model.query import Query
+
+__all__ = [
+    "TrainingRecord",
+    "collect_records",
+    "label_records",
+    "load_records",
+    "save_records",
+    "train_from_records",
+    "evaluate_model",
+]
+
+#: Serialization format tag for record lines.
+RECORD_FORMAT = "coskq-adaptive-record/1"
+
+
+@dataclass(frozen=True)
+class TrainingRecord:
+    """One query's measured outcome, ready for labeling."""
+
+    features: QueryFeatures
+    solver: str
+    elapsed_ms: float
+    counters: Dict[str, int]
+    aborted: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": RECORD_FORMAT,
+            "features": self.features.as_dict(),
+            "solver": self.solver,
+            "elapsed_ms": self.elapsed_ms,
+            "counters": dict(self.counters),
+            "aborted": self.aborted,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "TrainingRecord":
+        if payload.get("format") != RECORD_FORMAT:
+            raise InvalidParameterError(
+                "not a %s line (format=%r)" % (RECORD_FORMAT, payload.get("format"))
+            )
+        return TrainingRecord(
+            features=QueryFeatures.from_dict(payload["features"]),
+            solver=str(payload["solver"]),
+            elapsed_ms=float(payload["elapsed_ms"]),
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            aborted=bool(payload.get("aborted", False)),
+        )
+
+
+def collect_records(
+    context: SearchContext,
+    queries: Iterable[Query],
+    algorithm: str = "maxsum-exact",
+    cost: Optional[CostFunction] = None,
+    clock: Optional[Clock] = None,
+) -> List[TrainingRecord]:
+    """Measure ``algorithm`` on every query, pairing features with time.
+
+    An aborted solve (budget/deadline) still yields a record — flagged
+    ``aborted`` and labeled hard unconditionally by
+    :func:`label_records` (a search that had to be stopped is the
+    definition of hard).  ``clock`` is injectable for tests.
+    """
+    clock = clock if clock is not None else MonotonicClock()
+    solver = make_algorithm(algorithm, context, cost)
+    records: List[TrainingRecord] = []
+    for query in queries:
+        features = extract_features(context, query)
+        started = clock.now()
+        try:
+            result = solver.solve(query)
+            counters = dict(result.counters)
+            aborted = False
+        except SearchAbortedError as err:
+            counters = dict(err.counters)
+            aborted = True
+        elapsed_ms = (clock.now() - started) * 1000.0
+        records.append(
+            TrainingRecord(
+                features=features,
+                solver=algorithm,
+                elapsed_ms=elapsed_ms,
+                counters=counters,
+                aborted=aborted,
+            )
+        )
+    return records
+
+
+def save_records(path: str, records: Sequence[TrainingRecord]) -> None:
+    """Append-friendly JSONL (one record per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+
+
+def load_records(path: str) -> List[TrainingRecord]:
+    records: List[TrainingRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(TrainingRecord.from_dict(json.loads(line)))
+    return records
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def label_records(
+    records: Sequence[TrainingRecord], hard_ms: Optional[float] = None
+) -> Tuple[List[QueryFeatures], List[bool], float]:
+    """(feature rows, hard labels, the threshold actually used).
+
+    ``hard_ms`` defaults to the median collected latency; aborted solves
+    are hard regardless of their (truncated) elapsed time.
+    """
+    if not records:
+        raise InvalidParameterError("no training records to label")
+    if hard_ms is None:
+        hard_ms = _median([r.elapsed_ms for r in records])
+    rows = [r.features for r in records]
+    labels = [r.aborted or r.elapsed_ms > hard_ms for r in records]
+    return rows, labels, hard_ms
+
+
+def train_from_records(
+    records: Sequence[TrainingRecord],
+    hard_ms: Optional[float] = None,
+    epochs: int = 400,
+    learning_rate: float = 0.5,
+    l2: float = 1e-3,
+) -> HardnessModel:
+    """Label and fit in one step; the threshold lands in ``model.meta``."""
+    rows, labels, used_ms = label_records(records, hard_ms)
+    model = HardnessModel.train(
+        rows, labels, epochs=epochs, learning_rate=learning_rate, l2=l2
+    )
+    model.meta["hard_ms"] = used_ms
+    model.meta["label_rule"] = "aborted or elapsed_ms > hard_ms"
+    return model
+
+
+def evaluate_model(
+    model: HardnessModel,
+    records: Sequence[TrainingRecord],
+    hard_ms: Optional[float] = None,
+) -> Dict[str, float]:
+    """Holdout metrics: accuracy, precision, recall over the label rule."""
+    rows, labels, used_ms = label_records(records, hard_ms)
+    tp = fp = tn = fn = 0
+    for features, actual in zip(rows, labels):
+        predicted = model.predict_hard(features)
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and actual:
+            fn += 1
+        else:
+            tn += 1
+    total = tp + fp + tn + fn
+    return {
+        "samples": float(total),
+        "hard_ms": used_ms,
+        "positives": float(tp + fn),
+        "accuracy": (tp + tn) / total,
+        "precision": tp / (tp + fp) if tp + fp else 1.0,
+        "recall": tp / (tp + fn) if tp + fn else 1.0,
+    }

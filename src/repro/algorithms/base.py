@@ -24,6 +24,7 @@ from repro.index.irtree import IRTree
 from repro.index.protocol import SpatialTextIndex
 from repro.index.signatures import shared_keywords
 from repro.model.dataset import Dataset
+from repro.utils.floatcmp import prune_cutoff
 from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
@@ -168,12 +169,39 @@ class CoSKQAlgorithm(ABC):
         self.budget = None
 
     @abstractmethod
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
         """Return a feasible set (optimal when :attr:`exact`) for ``query``.
+
+        ``initial_upper_bound``, when given, must be the cost of some
+        feasible solution for this query under this algorithm's cost
+        function — e.g. the result of the registered approximation
+        counterpart (see :mod:`repro.adaptive.seeding`).  Exact solvers
+        prune against it from the first node (through
+        :func:`repro.utils.floatcmp.prune_cutoff`, so seeded and
+        unseeded runs return bit-identical costs); approximation
+        solvers, whose published ratio arguments do not account for an
+        external incumbent, accept and ignore it.  Passing a value that
+        is *not* a feasible cost voids the exactness guarantee.
 
         Raises :class:`~repro.errors.InfeasibleQueryError` when the
         query keywords cannot be covered by any object set.
         """
+
+    def _pruning_bound(
+        self, achieved: float, initial_upper_bound: Optional[float]
+    ) -> float:
+        """The effective pruning bound for exact searches.
+
+        ``achieved`` is the cost of an incumbent the search has already
+        constructed (it may be returned as-is, so no slack applies);
+        the external bound is slacked through :func:`prune_cutoff` so a
+        cost exactly equal to it is explored rather than pruned.
+        """
+        if initial_upper_bound is None:
+            return achieved
+        return min(achieved, prune_cutoff(initial_upper_bound))
 
     # -- helpers for subclasses -------------------------------------------------
 

@@ -17,7 +17,7 @@ adapts them as comparators for the Dia cost.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.algorithms.base import CoSKQAlgorithm
 from repro.algorithms.nnset import NNSetAlgorithm
@@ -44,7 +44,12 @@ class CaoAppro2(CoSKQAlgorithm):
     ratio = 2.0
     ratio_cost = "maxsum"
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
+        # ``initial_upper_bound`` is accepted for interface uniformity
+        # and ignored: the 2-approximation argument is about this
+        # search's own incumbent, not an external one.
         self._reset_counters()
         nn = self.context.nn_set(query)
         best: List[SpatialObject] = list(nn.objects)

@@ -100,7 +100,12 @@ class OwnerRingApproximation(CoSKQAlgorithm):
     name = "owner-appro"
     exact = False
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
+        # ``initial_upper_bound`` is accepted for interface uniformity
+        # and ignored: the approximation bound argues about this search's
+        # own incumbent, not an external one.
         self._reset_counters()
         nn = self.context.nn_set(query)
         best: List[SpatialObject] = list(nn.objects)

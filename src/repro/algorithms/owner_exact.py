@@ -179,7 +179,9 @@ class OwnerDrivenExact(CoSKQAlgorithm):
 
     # -- main loop -----------------------------------------------------------
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
         self._reset_counters()
         self._lens_cache = None  # memo is valid for one query only
         nn = self.context.nn_set(query)
@@ -192,6 +194,10 @@ class OwnerDrivenExact(CoSKQAlgorithm):
             if seeded.cost < best_cost:
                 best_cost = seeded.cost
                 best = list(seeded.objects)
+        # The achieved incumbent (returned as-is when nothing beats it)
+        # and the pruning bound are tracked separately: the external
+        # bound is only ever a cutoff, never a result.
+        bound = self._pruning_bound(best_cost, initial_upper_bound)
 
         d_f = nn.d_f if self.ring_pruning else 0.0
         index = self.context.index
@@ -199,15 +205,17 @@ class OwnerDrivenExact(CoSKQAlgorithm):
             self._checkpoint()
             if dist < d_f:
                 continue
-            if self.cost.combine(dist, 0.0) >= best_cost:
+            if self.cost.combine(dist, 0.0) >= bound:
                 break
             self._bump("owners_tried")
-            outcome = self._best_for_owner(query, owner, dist, best_cost)
+            outcome = self._best_for_owner(query, owner, dist, bound)
             if outcome is not None:
                 owner_set, owner_cost = outcome
                 if owner_cost < best_cost:
                     best_cost = owner_cost
                     best = owner_set
+                    if best_cost < bound:
+                        bound = best_cost
         return self._result(best, best_cost)
 
     # -- per-owner optimization ------------------------------------------------

@@ -72,10 +72,17 @@ class SumExact(_SumBase):
     name = "sum-exact"
     exact = True
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: float | None = None
+    ) -> CoSKQResult:
         self._reset_counters()
         candidates = self._prepared(query)
         full_mask = mask_of(query.keywords)
+        # The additive cost only grows along a path, so any state at or
+        # past the slacked external bound cannot reach a full mask
+        # cheaper than the seed — while every prefix of the optimal path
+        # costs at most the optimum and survives the cutoff.
+        cutoff = self._pruning_bound(float("inf"), initial_upper_bound)
         counter = itertools.count()
         best_cost: Dict[int, float] = {0: 0.0}
         heap: List[Tuple[float, int, int, Tuple[SpatialObject, ...]]] = [
@@ -94,6 +101,8 @@ class SumExact(_SumBase):
                 if new_mask == mask:
                     continue
                 new_cost = cost_so_far + dist
+                if new_cost >= cutoff:
+                    continue
                 if new_cost < best_cost.get(new_mask, float("inf")):
                     best_cost[new_mask] = new_cost
                     heapq.heappush(
@@ -108,7 +117,12 @@ class SumGreedy(_SumBase):
     name = "sum-greedy"
     exact = False
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: float | None = None
+    ) -> CoSKQResult:
+        # ``initial_upper_bound`` is accepted for interface uniformity
+        # and ignored: the greedy's H_k guarantee argues about its own
+        # picks, not about an external incumbent.
         self._reset_counters()
         candidates = self._prepared(query)
         full_mask = mask_of(query.keywords)

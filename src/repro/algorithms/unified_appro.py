@@ -71,7 +71,12 @@ class UnifiedAppro(CoSKQAlgorithm):
     name = "unified-appro"
     exact = False
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: float | None = None
+    ) -> CoSKQResult:
+        # ``initial_upper_bound`` is accepted for interface uniformity
+        # and ignored: the per-cost ratio table argues about this
+        # search's own incumbent, not an external one.
         self._reset_counters()
         nn = self.context.nn_set(query)
         best: List[SpatialObject] = list(nn.objects)

@@ -39,8 +39,10 @@ __all__ = [
 #: ``baseline_wall_s`` / ``shard_build_s`` extras.
 SCHEMA_VERSION = "coskq-bench-macro/2"
 
-#: How a workload is executed (see docs/BENCHMARKS.md).
-WORKLOAD_KINDS = ("solver", "chain", "boolean-knn", "batch", "sharded")
+#: How a workload is executed (see docs/BENCHMARKS.md).  ``adaptive``
+#: (the feature-driven planner) is a purely additive kind — cells of a
+#: new kind reuse the existing entry shape, so no version bump.
+WORKLOAD_KINDS = ("solver", "chain", "boolean-knn", "batch", "sharded", "adaptive")
 
 _CACHE_MODES = ("cold", "warm")
 _LATENCY_KEYS = ("count", "mean_ms", "min_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms")

@@ -36,6 +36,7 @@ from repro.model.objects import SpatialObject
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
 from repro.network.dataset import NetworkDataset
+from repro.utils.floatcmp import prune_cutoff
 
 __all__ = [
     "NetworkContext",
@@ -152,7 +153,11 @@ class NetworkNNSetAlgorithm(_NetworkAlgorithm):
 
     name = "network-nn-set"
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
+        # ``initial_upper_bound`` is accepted for interface uniformity
+        # and ignored: N(q) is a fixed construction, not a search.
         self._reset_counters()
         self._check_feasible(query)
         query_node = self.context.query_node(query)
@@ -165,7 +170,11 @@ class NetworkGreedyAppro(_NetworkAlgorithm):
 
     name = "network-greedy"
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
+        # ``initial_upper_bound`` is accepted for interface uniformity
+        # and ignored (approximation; see CoSKQAlgorithm.solve).
         self._reset_counters()
         self._check_feasible(query)
         query_node = self.context.query_node(query)
@@ -233,7 +242,9 @@ class NetworkBnBExact(_NetworkAlgorithm):
     exact = True
     max_expansions = 500_000
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
         self._reset_counters()
         self._check_feasible(query)
         if self.cost.query_aggregate is QueryAggregate.MIN:
@@ -244,6 +255,12 @@ class NetworkBnBExact(_NetworkAlgorithm):
         query_node = context.query_node(query)
         incumbent, _ = self._nn_set(query, query_node)
         incumbent_cost = context.evaluate(self.cost, query_node, incumbent)
+        # Achieved incumbent and pruning bound tracked separately, like
+        # the Euclidean exact solvers: the slacked external bound is only
+        # ever a cutoff, never a result.
+        bound = incumbent_cost
+        if initial_upper_bound is not None:
+            bound = min(bound, prune_cutoff(initial_upper_bound))
 
         relevant = context.dataset.relevant_objects(query.keywords)
         from_query = context.distances_from_node(query_node)
@@ -269,7 +286,7 @@ class NetworkBnBExact(_NetworkAlgorithm):
         while heap:
             self._checkpoint()
             lb, _, chosen, covered, qsum, qmax, diam = heapq.heappop(heap)
-            if lb >= incumbent_cost:
+            if lb >= bound:
                 break
             if covered >= query.keywords:
                 candidate = list(chosen)
@@ -277,6 +294,8 @@ class NetworkBnBExact(_NetworkAlgorithm):
                 if cost_value < incumbent_cost:
                     incumbent_cost = cost_value
                     incumbent = candidate
+                    if incumbent_cost < bound:
+                        bound = incumbent_cost
                 continue
             expansions += 1
             self._bump("states_expanded")
@@ -310,7 +329,7 @@ class NetworkBnBExact(_NetworkAlgorithm):
                 else:
                     q_bound = max(new_qmax, pending)
                 child_lb = self.cost.combine(q_bound, new_diam)
-                if child_lb < incumbent_cost:
+                if child_lb < bound:
                     heapq.heappush(
                         heap,
                         (

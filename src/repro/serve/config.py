@@ -84,6 +84,14 @@ class ServerConfig:
     #: shard summaries are shared read-only across request threads
     #: (docs/SHARDING.md).
     shards: int = 0
+    #: Plan each request with the feature-driven
+    #: :class:`~repro.adaptive.planner.AdaptivePlanner` instead of the
+    #: static fallback chain; the chain's strongest stage becomes the
+    #: planner's target solver (docs/ADAPTIVE.md).
+    adaptive: bool = False
+    #: Trained hardness model (JSON from ``coskq-adaptive train``); the
+    #: built-in heuristic default is used when unset.
+    model_path: Optional[str] = None
     chaos: Optional[ChaosSpec] = field(default=None)
     #: Log one line per request to stderr (off by default: the load
     #: generator would drown the terminal).
@@ -111,6 +119,10 @@ class ServerConfig:
             )
         if self.latency_window < 1:
             raise InvalidParameterError("latency_window must be >= 1")
+        if self.model_path is not None and not self.adaptive:
+            raise InvalidParameterError(
+                "model_path only applies to adaptive serving (set adaptive=True)"
+            )
         if self.chaos is not None and self.caches_results:
             raise InvalidParameterError(
                 "result caching under chaos is unsound: a cached answer "

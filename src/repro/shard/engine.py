@@ -44,8 +44,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional
 
+from repro.adaptive.seeding import compute_seed
 from repro.algorithms.base import CoSKQAlgorithm, SearchContext
-from repro.algorithms.owner_appro import OwnerRingApproximation
 from repro.algorithms.registry import make_algorithm
 from repro.cost.base import CostFunction, QueryAggregate
 from repro.errors import InvalidParameterError
@@ -53,6 +53,7 @@ from repro.index.signatures import covers, mask_of, overlaps
 from repro.model.query import Query
 from repro.model.result import CoSKQResult
 from repro.shard.index import Shard, ShardedIndex
+from repro.utils.floatcmp import prune_cutoff
 
 __all__ = ["MASK_ONLY_SOLVERS", "ScatterGather"]
 
@@ -60,11 +61,6 @@ __all__ = ["MASK_ONLY_SOLVERS", "ScatterGather"]
 #: disk (owner-anchored keyword-NN completions), so only the mask rule
 #: may restrict their universe.
 MASK_ONLY_SOLVERS = frozenset({"cao-appro1", "cao-appro2"})
-
-#: Relative + absolute slack applied to the incumbent before comparing a
-#: shard's lower bound against it (see module docstring).
-_REL_SLACK = 1e-9
-_ABS_SLACK = 1e-12
 
 
 class ScatterGather(CoSKQAlgorithm):  # repro: noqa(R1) — wrapper, not a registry solver; exact/name mirror the wrapped solver's in __init__
@@ -104,7 +100,9 @@ class ScatterGather(CoSKQAlgorithm):  # repro: noqa(R1) — wrapper, not a regis
 
     # -- solve ---------------------------------------------------------------
 
-    def solve(self, query: Query) -> CoSKQResult:
+    def solve(
+        self, query: Query, initial_upper_bound: Optional[float] = None
+    ) -> CoSKQResult:
         self._reset_counters()
         index: ShardedIndex = self.context.index  # type: ignore[assignment]
         shards = index.shards
@@ -129,7 +127,11 @@ class ScatterGather(CoSKQAlgorithm):  # repro: noqa(R1) — wrapper, not a regis
             bound = incumbent
             if self.exact:
                 bound = min(bound, self._seed_bound(query, q_mask, relevant, incumbent))
-            cutoff = bound * (1.0 + _REL_SLACK) + _ABS_SLACK
+            if initial_upper_bound is not None:
+                # An externally supplied feasible cost tightens the bound
+                # rule too; prune_cutoff below re-applies the slack.
+                bound = min(bound, initial_upper_bound)
+            cutoff = prune_cutoff(bound)
             survivors = [
                 shard
                 for shard in relevant
@@ -149,7 +151,13 @@ class ScatterGather(CoSKQAlgorithm):  # repro: noqa(R1) — wrapper, not a regis
             self.algorithm, self.context.with_index(restricted), self.cost
         )
         inner.budget = self.budget
-        result = inner.solve(query)
+        # Only the *external* bound is forwarded: the engine's own seed
+        # pass keeps tightening shard pruning alone, preserving the
+        # engine's object-level identity with the single-index baseline.
+        if initial_upper_bound is None:
+            result = inner.solve(query)
+        else:
+            result = inner.solve(query, initial_upper_bound=initial_upper_bound)
         merged = dict(result.counters)
         for counter, amount in self.counters.items():
             merged[counter] = merged.get(counter, 0) + amount
@@ -169,7 +177,11 @@ class ScatterGather(CoSKQAlgorithm):  # repro: noqa(R1) — wrapper, not a regis
         Only shards whose keyword union covers the *whole* query can run
         the approximation alone; among those, the one whose MBR is
         closest to the query is the likeliest to hold a cheap feasible
-        set.  Returns ``incumbent`` unchanged when no shard qualifies.
+        set.  The seeder itself comes from the shared seeding API
+        (:func:`repro.adaptive.seeding.compute_seed`), so the
+        structure→seeder dispatch lives in exactly one place.  Returns
+        ``incumbent`` unchanged when no shard qualifies or no seeder
+        exists for this cost.
         """
         covering = [
             shard for shard in relevant if covers(q_mask, shard.summary.kw_mask)
@@ -184,11 +196,13 @@ class ScatterGather(CoSKQAlgorithm):  # repro: noqa(R1) — wrapper, not a regis
             ),
         )
         index: ShardedIndex = self.context.index  # type: ignore[assignment]
-        seeder = OwnerRingApproximation(
+        seed = compute_seed(
             self.context.with_index(index.restricted([target.shard_id])),
             self.cost,
+            query,
+            budget=self.budget,
         )
-        seeder.budget = self.budget
+        if seed is None:
+            return incumbent
         self._bump("seed_runs")
-        seed = seeder.solve(query)
         return min(incumbent, seed.cost)

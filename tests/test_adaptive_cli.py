@@ -1,0 +1,212 @@
+"""The adaptive surfaces: coskq-adaptive, coskq-query --adaptive, serving.
+
+Covers the full collect → train → eval loop through the ``coskq-adaptive``
+CLI, the ``--adaptive`` / ``--explain`` / ``--model`` flags of
+``coskq-query`` (exit-code conventions unchanged), and the serving
+daemon's planner integration: decision records serialized into response
+provenance and the ``by_planner`` outcome counters on /stats.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adaptive.cli import main as adaptive_main
+from repro.data.generators import uniform_dataset
+from repro.errors import InvalidParameterError
+from repro.serve import QueryService, ServerConfig
+from repro.tools.query_cli import main as query_main
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "objects.tsv"
+    uniform_dataset(150, 14, mean_keywords=2.5, seed=19, name="adaptive").save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def frequent_words(dataset_file):
+    from repro.model.dataset import Dataset
+
+    dataset = Dataset.load(dataset_file)
+    return [
+        dataset.vocabulary.word_of(k)
+        for k in dataset.keywords_by_frequency()[:3]
+    ]
+
+
+@pytest.fixture(scope="module")
+def records_file(tmp_path_factory, dataset_file):
+    path = tmp_path_factory.mktemp("adaptive") / "records.jsonl"
+    code = adaptive_main(
+        [
+            "collect",
+            dataset_file,
+            "--queries", "12",
+            "--num-keywords", "3",
+            "--algorithm", "maxsum-exact",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory, records_file):
+    path = tmp_path_factory.mktemp("adaptive") / "model.json"
+    assert adaptive_main(
+        ["train", records_file, "--out", str(path), "--epochs", "60"]
+    ) == 0
+    return str(path)
+
+
+class TestAdaptiveCli:
+    def test_collect_writes_jsonl(self, records_file):
+        lines = [
+            json.loads(line)
+            for line in open(records_file, encoding="utf-8")
+            if line.strip()
+        ]
+        assert len(lines) == 12
+        assert all(line["format"] == "coskq-adaptive-record/1" for line in lines)
+
+    def test_train_writes_model_json(self, model_file, capsys):
+        payload = json.loads(open(model_file, encoding="utf-8").read())
+        assert payload["format"] == "coskq-hardness-model/1"
+        assert payload["meta"]["samples"] == 12
+
+    def test_eval_reports_metrics(self, records_file, model_file, capsys):
+        assert adaptive_main(["eval", records_file, "--model", model_file]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["samples"] == 12.0
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+
+    def test_usage_errors_exit_2(self, dataset_file, tmp_path, capsys):
+        out = str(tmp_path / "r.jsonl")
+        assert adaptive_main(
+            ["collect", dataset_file, "--demo", "--out", out]
+        ) == 2
+        assert adaptive_main(
+            ["collect", dataset_file, "--queries", "0", "--out", out]
+        ) == 2
+
+    def test_missing_records_exit_1(self, tmp_path, capsys):
+        assert adaptive_main(
+            ["train", str(tmp_path / "nope.jsonl"), "--out", str(tmp_path / "m.json")]
+        ) == 1
+
+
+class TestQueryCliAdaptive:
+    def run(self, dataset_file, words, *extra):
+        return query_main(
+            [dataset_file, "--at", "500", "500", "--keywords", *words, *extra]
+        )
+
+    def test_adaptive_answers_match_plain(
+        self, dataset_file, frequent_words, capsys
+    ):
+        assert self.run(dataset_file, frequent_words) == 0
+        plain = capsys.readouterr().out
+        assert self.run(dataset_file, frequent_words, "--adaptive") == 0
+        adaptive = capsys.readouterr().out
+        cost = [l for l in plain.splitlines() if "cost" in l]
+        assert cost and cost[0] in adaptive
+
+    def test_explain_prints_the_plan(self, dataset_file, frequent_words, capsys):
+        assert (
+            self.run(dataset_file, frequent_words, "--adaptive", "--explain") == 0
+        )
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "hardness" in out
+
+    def test_adaptive_with_trained_model(
+        self, dataset_file, frequent_words, model_file, capsys
+    ):
+        code = self.run(
+            dataset_file, frequent_words, "--adaptive", "--model", model_file
+        )
+        assert code == 0
+        assert "cost" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ("--explain",),  # explain requires adaptive
+            ("--adaptive", "--fallback", "maxsum-appro"),
+            ("--adaptive", "--top", "3"),
+        ],
+    )
+    def test_usage_conflicts_exit_2(self, dataset_file, frequent_words, extra, capsys):
+        assert self.run(dataset_file, frequent_words, *extra) == 2
+
+
+def query_body(words):
+    return json.dumps(
+        {"x": 500.0, "y": 500.0, "keywords": list(words)}
+    ).encode("utf-8")
+
+
+class TestServeAdaptive:
+    @pytest.fixture(scope="class")
+    def serve_dataset(self):
+        return uniform_dataset(150, 14, mean_keywords=2.5, seed=19, name="serve")
+
+    @pytest.fixture(scope="class")
+    def serve_words(self, serve_dataset):
+        return [
+            serve_dataset.vocabulary.word_of(k)
+            for k in serve_dataset.keywords_by_frequency()[:2]
+        ]
+
+    def test_planner_decision_serialized(self, serve_dataset, serve_words):
+        service = QueryService(serve_dataset, ServerConfig(adaptive=True))
+        response = service.handle_query(query_body(serve_words))
+        assert response.status == 200
+        planner = response.payload["provenance"]["planner"]
+        assert planner is not None
+        assert set(planner) >= {"solver", "seeder", "hardness", "hard", "features"}
+
+    def test_adaptive_costs_match_plain_service(self, serve_dataset, serve_words):
+        plain = QueryService(serve_dataset, ServerConfig())
+        adaptive = QueryService(serve_dataset, ServerConfig(adaptive=True))
+        body = query_body(serve_words)
+        assert (
+            adaptive.handle_query(body).payload["cost"]
+            == plain.handle_query(body).payload["cost"]
+        )
+
+    def test_stats_count_planner_outcomes(self, serve_dataset, serve_words):
+        service = QueryService(serve_dataset, ServerConfig(adaptive=True))
+        for _ in range(3):
+            service.handle_query(query_body(serve_words))
+        payload = service.stats_payload()
+        assert payload["adaptive"] is True
+        by_planner = payload["by_planner"]
+        assert sum(by_planner.values()) == 3
+        assert set(by_planner) <= {"easy", "hard_seeded", "hard_unseeded"}
+
+    def test_plain_service_has_no_planner(self, serve_dataset, serve_words):
+        service = QueryService(serve_dataset, ServerConfig())
+        response = service.handle_query(query_body(serve_words))
+        assert response.payload["provenance"]["planner"] is None
+        assert service.stats_payload()["by_planner"] == {}
+        assert service.stats_payload()["adaptive"] is False
+
+    def test_model_path_requires_adaptive(self):
+        with pytest.raises(InvalidParameterError):
+            ServerConfig(model_path="model.json")
+
+    def test_model_path_loads(self, serve_dataset, serve_words, tmp_path):
+        from repro.adaptive import HardnessModel
+
+        path = tmp_path / "model.json"
+        path.write_text(HardnessModel.default().to_json())
+        service = QueryService(
+            serve_dataset, ServerConfig(adaptive=True, model_path=str(path))
+        )
+        assert service.handle_query(query_body(serve_words)).status == 200

@@ -1,0 +1,293 @@
+"""The adaptive planner stack: features, hardness model, plan execution.
+
+Three layers under test (docs/ADAPTIVE.md):
+
+- :func:`extract_features` reads what the engine already built, agrees
+  with the inverted index, and fails exactly where a solver would;
+- :class:`HardnessModel` round-trips through JSON byte-identically and
+  trains deterministically from records;
+- :class:`AdaptivePlanner` routes on the model's verdict, stamps the
+  decision into execution provenance, and never changes answers — for
+  either routing — versus the direct exact solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import (
+    AdaptivePlanner,
+    HardnessModel,
+    QueryFeatures,
+    extract_features,
+)
+from repro.adaptive.model import FEATURE_NAMES
+from repro.adaptive.planner import SeededStage
+from repro.adaptive.train import (
+    TrainingRecord,
+    collect_records,
+    evaluate_model,
+    label_records,
+    load_records,
+    save_records,
+    train_from_records,
+)
+from repro.algorithms.base import SearchContext
+from repro.algorithms.registry import make_algorithm
+from repro.errors import InfeasibleQueryError, InvalidParameterError
+from repro.exec.fallback import ExecutionProvenance
+from repro.exec.policy import Budget, ExecutionPolicy
+from repro.model.query import Query
+
+
+def force(hard: bool) -> HardnessModel:
+    """A model that routes everything one way (sigmoid(±10) ≈ 1 / 0)."""
+    return HardnessModel(weights={}, bias=10.0 if hard else -10.0)
+
+
+class TestFeatures:
+    def test_agrees_with_inverted_index(self, tiny_context, tiny_queries):
+        inverted = tiny_context.inverted
+        for query in tiny_queries:
+            features = extract_features(tiny_context, query)
+            frequencies = [
+                inverted.document_frequency(t) for t in query.keywords
+            ]
+            assert features.num_keywords == len(query.keywords)
+            assert features.min_selectivity == min(frequencies)
+            assert features.max_selectivity == max(frequencies)
+            assert features.mean_selectivity == pytest.approx(
+                sum(frequencies) / len(frequencies)
+            )
+            carriers = set()
+            for t in query.keywords:
+                carriers.update(inverted.posting_list(t))
+            assert features.relevant_universe == len(carriers)
+            assert features.anchor_spread == pytest.approx(
+                features.d_f - features.d_n
+            )
+            assert features.d_f >= features.d_n >= 0.0
+            assert features.shard_fanout == 1
+
+    def test_sharded_fanout(self, tiny_dataset, tiny_queries):
+        from repro.shard import ShardedIndexFactory
+
+        sharded = SearchContext(tiny_dataset, index_cls=ShardedIndexFactory(4))
+        fanouts = [
+            extract_features(sharded, q).shard_fanout for q in tiny_queries
+        ]
+        assert all(1 <= fanout <= 4 for fanout in fanouts)
+
+    def test_infeasible_query_raises(self, tiny_context, tiny_dataset):
+        missing = max(o for obj in tiny_dataset.objects for o in obj.keywords) + 7
+        with pytest.raises(InfeasibleQueryError):
+            extract_features(tiny_context, Query.create(1.0, 1.0, [missing]))
+
+    def test_dict_round_trip(self, tiny_context, tiny_queries):
+        features = extract_features(tiny_context, tiny_queries[0])
+        assert QueryFeatures.from_dict(features.as_dict()) == features
+        assert tuple(features.as_dict()) == FEATURE_NAMES
+
+
+class TestHardnessModel:
+    def test_json_round_trip_is_byte_identical(self):
+        model = HardnessModel(
+            weights={"num_keywords": 0.5, "d_f": -0.25},
+            bias=1.5,
+            standardize={"num_keywords": (4.0, 2.0)},
+            threshold=0.4,
+            meta={"source": "test"},
+        )
+        text = model.to_json()
+        assert HardnessModel.from_json(text).to_json() == text
+
+    def test_rejects_unknown_features_and_formats(self):
+        with pytest.raises(InvalidParameterError):
+            HardnessModel(weights={"no_such_feature": 1.0})
+        with pytest.raises(InvalidParameterError):
+            HardnessModel.from_dict({"format": "something-else"})
+
+    def test_default_splits_easy_from_hard(self):
+        model = HardnessModel.default()
+        small = QueryFeatures(
+            num_keywords=3, relevant_universe=30, min_selectivity=5,
+            max_selectivity=15, mean_selectivity=10.0, d_f=2.0, d_n=1.0,
+            anchor_spread=1.0, shard_fanout=1,
+        )
+        large = QueryFeatures(
+            num_keywords=9, relevant_universe=600, min_selectivity=40,
+            max_selectivity=90, mean_selectivity=70.0, d_f=9.0, d_n=1.0,
+            anchor_spread=8.0, shard_fanout=1,
+        )
+        assert not model.predict_hard(small)
+        assert model.predict_hard(large)
+        assert 0.0 < model.predict_proba(small) < model.predict_proba(large) < 1.0
+
+    def test_training_is_deterministic_and_learns(self, tiny_context, tiny_queries):
+        rows = [extract_features(tiny_context, q) for q in tiny_queries]
+        labels = [f.relevant_universe > 50 for f in rows]
+        first = HardnessModel.train(rows, labels, epochs=150)
+        second = HardnessModel.train(rows, labels, epochs=150)
+        assert first.to_json() == second.to_json()
+        agree = sum(
+            first.predict_hard(f) == label for f, label in zip(rows, labels)
+        )
+        assert agree >= int(0.8 * len(rows))
+
+    def test_train_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HardnessModel.train([], [])
+
+
+class TestTrainingLoop:
+    def test_collect_label_fit_round_trip(self, tiny_context, tiny_queries, tmp_path):
+        records = collect_records(tiny_context, tiny_queries, algorithm="maxsum-exact")
+        assert len(records) == len(tiny_queries)
+        path = tmp_path / "records.jsonl"
+        save_records(str(path), records)
+        assert load_records(str(path)) == records
+        model = train_from_records(records, epochs=50)
+        assert model.meta["source"] == "trained"
+        assert model.meta["hard_ms"] > 0.0
+        metrics = evaluate_model(model, records)
+        assert metrics["samples"] == len(records)
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+
+    def test_aborted_records_label_hard(self, tiny_context, tiny_queries):
+        features = extract_features(tiny_context, tiny_queries[0])
+        records = [
+            TrainingRecord(features, "maxsum-exact", 0.01, {}, aborted=True),
+            TrainingRecord(features, "maxsum-exact", 5.0, {}),
+            TrainingRecord(features, "maxsum-exact", 9.0, {}),
+        ]
+        _, labels, hard_ms = label_records(records)
+        assert labels[0] is True  # aborted → hard despite tiny elapsed
+        assert hard_ms == 5.0  # median
+
+
+class TestAdaptivePlanner:
+    @pytest.mark.parametrize("hard", [False, True])
+    def test_routing_never_changes_answers(
+        self, tiny_context, tiny_queries, hard
+    ):
+        planner = AdaptivePlanner(
+            tiny_context, algorithm="maxsum-exact", model=force(hard)
+        )
+        exact = make_algorithm("maxsum-exact", tiny_context)
+        for query in tiny_queries:
+            planned = planner.solve(query)
+            direct = exact.solve(query)
+            assert planned.cost == direct.cost
+
+    def test_provenance_carries_the_decision(self, tiny_context, tiny_queries):
+        planner = AdaptivePlanner(
+            tiny_context, algorithm="maxsum-exact", model=force(True)
+        )
+        result = planner.solve(tiny_queries[0])
+        stamp = result.provenance
+        assert isinstance(stamp, ExecutionProvenance)
+        decision = stamp.planner
+        assert decision["solver"] == "maxsum-exact"
+        assert decision["seeder"] == "maxsum-appro"
+        assert decision["hard"] is True
+        assert decision["seed_cost"] is not None
+        assert decision["hardness"] > 0.99
+        assert QueryFeatures.from_dict(decision["features"]).num_keywords == len(
+            tiny_queries[0].keywords
+        )
+
+    def test_easy_plan_skips_seeding(self, tiny_context, tiny_queries):
+        planner = AdaptivePlanner(
+            tiny_context, algorithm="maxsum-exact", model=force(False)
+        )
+        decision = planner.solve(tiny_queries[0]).provenance.planner
+        assert decision["hard"] is False
+        assert decision["seeder"] is None
+        assert decision["seed_cost"] is None
+
+    def test_unseedable_algorithm_never_plans_hard(self, tiny_context, tiny_queries):
+        # bruteforce has no appro counterpart: hard routing is impossible.
+        planner = AdaptivePlanner(
+            tiny_context, algorithm="bruteforce", model=force(True)
+        )
+        decision = planner.solve(tiny_queries[0]).provenance.planner
+        assert decision["hard"] is False
+
+    def test_deadline_policy_still_answers(self, tiny_context, tiny_queries):
+        planner = AdaptivePlanner(
+            tiny_context,
+            algorithm="maxsum-exact",
+            model=force(True),
+            policy=ExecutionPolicy(deadline_ms=10_000.0, always_answer=True),
+        )
+        result = planner.solve(tiny_queries[0])
+        assert result.is_feasible_for(tiny_queries[0])
+
+
+class TestSeededStage:
+    def test_starved_seeder_falls_back_to_unseeded(self, tiny_context, tiny_queries):
+        appro = make_algorithm("maxsum-appro", tiny_context)
+        exact = make_algorithm("maxsum-exact", tiny_context)
+        stage = SeededStage(appro, exact, seed_fraction=1e-9)
+        stage.budget = Budget(work_limit=10**6, checkpoint_interval=1)
+        query = tiny_queries[0]
+        try:
+            result = stage.solve(query)
+        finally:
+            stage.budget = None
+        # The split hands the seeding pass a 1-unit sub-budget, so it
+        # aborts immediately; the exact pass still answers within the
+        # (ample) attempt budget.
+        assert stage.last_seed_cost is None
+        assert result.is_feasible_for(query)
+
+    def test_seed_counters_merge(self, tiny_context, tiny_queries):
+        appro = make_algorithm("maxsum-appro", tiny_context)
+        exact = make_algorithm("maxsum-exact", tiny_context)
+        stage = SeededStage(appro, exact)
+        result = stage.solve(tiny_queries[0])
+        assert stage.last_seed_cost is not None
+        assert result.counters.get("seed_runs") == 1
+
+
+class TestSolverSpecAdaptive:
+    def test_build_and_label(self, tiny_context):
+        from repro.parallel import SolverSpec
+
+        spec = SolverSpec(algorithm="maxsum-exact", adaptive=True)
+        assert spec.label == "adaptive[maxsum-exact]"
+        assert isinstance(spec.build(tiny_context), AdaptivePlanner)
+
+    def test_model_json_travels_in_the_spec(self, tiny_context):
+        from repro.parallel import SolverSpec
+
+        spec = SolverSpec(
+            algorithm="maxsum-exact",
+            adaptive=True,
+            model_json=force(False).to_json(),
+        )
+        planner = spec.build(tiny_context)
+        assert planner.model.bias == -10.0
+
+    def test_validation(self):
+        from repro.parallel import SolverSpec
+
+        with pytest.raises(InvalidParameterError):
+            SolverSpec(adaptive=True, chain="maxsum-exact,maxsum-appro")
+        with pytest.raises(InvalidParameterError):
+            SolverSpec(model_json="{}")
+
+    def test_parallel_batch_matches_serial(self, tiny_dataset, tiny_queries):
+        from repro.exec.batch import BatchExecutor
+        from repro.parallel import ParallelBatchExecutor, SolverSpec, WorkerEnv
+
+        spec = SolverSpec(algorithm="maxsum-exact", adaptive=True)
+        serial = BatchExecutor(spec.build(SearchContext(tiny_dataset)))
+        serial_report = serial.run(tiny_queries[:6])
+        env = WorkerEnv(dataset=tiny_dataset)
+        with ParallelBatchExecutor(env, spec, workers=2) as engine:
+            parallel_report = engine.run(tiny_queries[:6])
+        assert serial_report.ok() and parallel_report.ok()
+        assert [r.cost for r in serial_report.results] == [
+            r.cost for r in parallel_report.results
+        ]

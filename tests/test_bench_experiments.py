@@ -40,6 +40,7 @@ class TestExperimentRegistry:
             "parallel_study",
             "kernels_study",
             "signatures_study",
+            "adaptive_study",
         }
         assert expected == set(EXPERIMENTS)
 
